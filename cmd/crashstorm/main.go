@@ -1,0 +1,162 @@
+// Command crashstorm stress-tests the detectable objects under randomized
+// concurrent workloads with crash storms, validating every round's history
+// for durable linearizability with detectability accounting (E1/E2/E6
+// empirical side).
+//
+// Usage:
+//
+//	crashstorm [-obj rw|cas|queue|maxreg] [-procs 3] [-rounds 20] [-ops 5] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+
+	"detectable/internal/linearize"
+	"detectable/internal/maxreg"
+	"detectable/internal/nvm"
+	"detectable/internal/queue"
+	"detectable/internal/rcas"
+	"detectable/internal/runtime"
+	"detectable/internal/rw"
+	"detectable/internal/spec"
+)
+
+func main() {
+	obj := flag.String("obj", "cas", "object under test: rw, cas, queue or maxreg")
+	procs := flag.Int("procs", 3, "concurrent processes")
+	rounds := flag.Int("rounds", 20, "independent rounds (one history check each)")
+	ops := flag.Int("ops", 5, "operations per process per round")
+	seed := flag.Int64("seed", 1, "randomness seed")
+	flag.Parse()
+	if err := run(*obj, *procs, *rounds, *ops, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "crashstorm:", err)
+		os.Exit(1)
+	}
+}
+
+func run(obj string, procs, rounds, ops int, seed int64) error {
+	if procs*ops > 60 {
+		return fmt.Errorf("procs*ops = %d exceeds the history checker's 60-op budget", procs*ops)
+	}
+	var total linearize.Report
+	for round := 0; round < rounds; round++ {
+		sys := runtime.NewSystem(procs)
+		worker, specObj, err := workload(obj, sys)
+		if err != nil {
+			return err
+		}
+
+		stop := make(chan struct{})
+		var storm sync.WaitGroup
+		storm.Add(1)
+		go func() {
+			defer storm.Done()
+			i := 0
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				i++
+				if i%1000 == 0 {
+					sys.Crash()
+				}
+			}
+		}()
+
+		var wg sync.WaitGroup
+		for p := 0; p < procs; p++ {
+			wg.Add(1)
+			go func(pid int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(seed + int64(round*97+pid)))
+				for i := 0; i < ops; i++ {
+					worker(pid, rng)
+				}
+			}(p)
+		}
+		wg.Wait()
+		close(stop)
+		storm.Wait()
+
+		ok, rep, err := linearize.CheckLog(specObj, sys.Log())
+		if err != nil {
+			return fmt.Errorf("round %d: %w", round, err)
+		}
+		if !ok {
+			return fmt.Errorf("round %d: history NOT durably linearizable:\n%s", round, sys.Log())
+		}
+		total.Completed += rep.Completed
+		total.Recovered += rep.Recovered
+		total.Failed += rep.Failed
+		total.Pending += rep.Pending
+		total.Crashes += rep.Crashes
+	}
+
+	fmt.Printf("object=%s procs=%d rounds=%d ops/proc=%d: all histories durably linearizable\n",
+		obj, procs, rounds, ops)
+	fmt.Printf("  completed=%d recovered=%d failed=%d crashes=%d\n",
+		total.Completed, total.Recovered, total.Failed, total.Crashes)
+	return nil
+}
+
+// workload returns a per-process op driver and the matching sequential
+// specification.
+func workload(obj string, sys *runtime.System) (func(int, *rand.Rand), spec.Object, error) {
+	switch obj {
+	case "rw":
+		reg := rw.NewInt(sys, 0)
+		return func(pid int, rng *rand.Rand) {
+			if rng.Intn(2) == 0 {
+				reg.Write(pid, rng.Intn(5), randPlan(rng))
+			} else {
+				reg.Read(pid, randPlan(rng))
+			}
+		}, spec.Register{}, nil
+	case "cas":
+		o := rcas.NewInt(sys, 0)
+		return func(pid int, rng *rand.Rand) {
+			if rng.Intn(3) == 0 {
+				o.Read(pid, randPlan(rng))
+			} else {
+				o.Cas(pid, rng.Intn(3), rng.Intn(3), randPlan(rng))
+			}
+		}, spec.CAS{}, nil
+	case "queue":
+		q := queue.New(sys)
+		next := make(chan int, 1)
+		next <- 1
+		return func(pid int, rng *rand.Rand) {
+			if rng.Intn(2) == 0 {
+				v := <-next
+				next <- v + 1
+				q.Enq(pid, v, randPlan(rng))
+			} else {
+				q.Deq(pid, randPlan(rng))
+			}
+		}, spec.Queue{}, nil
+	case "maxreg":
+		m := maxreg.New(sys)
+		return func(pid int, rng *rand.Rand) {
+			if rng.Intn(2) == 0 {
+				m.WriteMax(pid, rng.Intn(40), randPlan(rng))
+			} else {
+				m.Read(pid, randPlan(rng))
+			}
+		}, spec.MaxRegister{}, nil
+	default:
+		return nil, nil, fmt.Errorf("unknown object %q (want rw, cas, queue or maxreg)", obj)
+	}
+}
+
+func randPlan(rng *rand.Rand) nvm.CrashPlan {
+	if rng.Intn(3) != 0 {
+		return nvm.NeverCrash()
+	}
+	return nvm.CrashAtStep(uint64(1 + rng.Intn(12)))
+}

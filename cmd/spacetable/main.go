@@ -1,0 +1,49 @@
+// Command spacetable prints the space-complexity comparison (E7): shared
+// bits beyond the value for the paper's bounded algorithms versus the
+// unbounded sequence-number baselines, across process counts and operation
+// counts.
+//
+// Usage:
+//
+//	spacetable [-valuebits 64]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"detectable/internal/space"
+)
+
+func main() {
+	valueBits := flag.Int("valuebits", 64, "width of the stored application value in bits")
+	flag.Parse()
+	if err := run(*valueBits); err != nil {
+		fmt.Fprintln(os.Stderr, "spacetable:", err)
+		os.Exit(1)
+	}
+}
+
+func run(valueBits int) error {
+	if valueBits < 1 {
+		return fmt.Errorf("valuebits must be positive")
+	}
+	ns := []int{2, 4, 8, 16, 64}
+	ops := []uint64{1_000, 1_000_000, 1_000_000_000}
+
+	fmt.Println("CAS objects — shared bits beyond the value (Theorem 1 bound: Ω(N)):")
+	fmt.Print(space.FormatTable(space.CompareCAS(ns, ops, valueBits)))
+	fmt.Println()
+	fmt.Println("Read/write registers — shared bits beyond the value:")
+	fmt.Print(space.FormatTable(space.CompareRW(ns, ops, valueBits)))
+	fmt.Println()
+	fmt.Println("Per-process auxiliary state (Definition 1 / Theorem 2):")
+	for _, p := range []space.Profile{
+		space.RW(8, valueBits), space.RCAS(8, valueBits), space.MaxReg(8, valueBits),
+	} {
+		fmt.Printf("  %-24s %d aux bits, %d private bits per process\n",
+			p.Impl, p.AuxBitsPerProc, p.PrivateBitsPerProc)
+	}
+	return nil
+}

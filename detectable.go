@@ -1,0 +1,140 @@
+// Package detectable is a Go reproduction of "Upper and Lower Bounds on the
+// Space Complexity of Detectable Objects" (Ben-Baruch, Hendler, Rusanovsky,
+// PODC 2020).
+//
+// It provides recoverable, detectable concurrent objects running on a
+// simulated non-volatile-memory (NVM) substrate with system-wide
+// crash-failures:
+//
+//   - Register — the paper's Algorithm 1: the first wait-free
+//     bounded-space detectable read/write register.
+//   - CAS — the paper's Algorithm 2: the first wait-free bounded-space
+//     detectable compare-and-swap, using Θ(N) bits beyond the value
+//     (asymptotically optimal by Theorem 1).
+//   - MaxRegister — the paper's Algorithm 3: recoverable with no auxiliary
+//     state at all (possible because max registers are not
+//     doubly-perturbing, Lemma 4).
+//   - Queue, Counter, FetchAdd, KV — detectable data structures composed
+//     from the primitives, with exactly-once retry semantics.
+//
+// # Detectability
+//
+// Every operation returns an Outcome. When the simulated system crashes
+// mid-operation, the operation's recovery function runs and determines
+// whether the operation was linearized: Outcome.Linearized true carries the
+// operation's response; false means the operation definitely took no effect
+// and can safely be re-invoked. This is the paper's detectability
+// condition, strictly stronger than durable linearizability.
+//
+// # Crash simulation
+//
+// A System owns the simulated NVM and N process identities. System.Crash
+// injects a system-wide crash-failure: every in-flight operation loses its
+// volatile state and falls into its recovery function. Deterministic
+// injection for tests and demos is available through CrashAtStep.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// reproduction of the paper's results.
+package detectable
+
+import (
+	"detectable/internal/nvm"
+	"detectable/internal/runtime"
+)
+
+// MemoryModel selects how the simulated NVM behaves (Section 6 of the
+// paper).
+type MemoryModel int
+
+// Memory models.
+const (
+	// PrivateCache applies every primitive directly to NVM (the abstract
+	// model the paper's algorithms are specified in). This is the default.
+	PrivateCache MemoryModel = iota + 1
+	// SharedCacheFlushed applies primitives to a volatile shared cache and
+	// persists each write immediately afterwards — the flush-after-write
+	// transformation that carries the algorithms to real hardware.
+	SharedCacheFlushed
+	// SharedCacheRaw applies primitives to the volatile cache with no
+	// persistency instructions. Crashes lose unflushed effects; use it to
+	// observe durability violations.
+	SharedCacheRaw
+)
+
+func (m MemoryModel) internal() nvm.Model {
+	switch m {
+	case SharedCacheFlushed:
+		return nvm.ModelSharedCacheAuto
+	case SharedCacheRaw:
+		return nvm.ModelSharedCacheRaw
+	default:
+		return nvm.ModelPrivateCache
+	}
+}
+
+// System is one simulated crash-prone shared-memory system shared by N
+// processes. Methods that take a pid expect 0 ≤ pid < N; a single pid must
+// not run two operations concurrently (distinct pids may).
+type System struct {
+	inner *runtime.System
+}
+
+// NewSystem creates a system of n processes under the private-cache model.
+func NewSystem(n int) *System {
+	return &System{inner: runtime.NewSystem(n)}
+}
+
+// NewSystemWithModel creates a system of n processes under the given
+// memory model.
+func NewSystemWithModel(n int, m MemoryModel) *System {
+	return &System{inner: runtime.NewSystemModel(n, m.internal())}
+}
+
+// N returns the number of processes.
+func (s *System) N() int { return s.inner.N() }
+
+// Crash injects a system-wide crash-failure: all volatile state is lost,
+// every in-flight operation falls into its recovery function, and (under
+// the shared-cache models) unflushed writes are discarded.
+func (s *System) Crash() { s.inner.Crash() }
+
+// Primitives returns the total number of memory primitives executed so
+// far, for instrumentation.
+func (s *System) Primitives() uint64 { return s.inner.Space().Stats().Total() }
+
+// Outcome is the detectable result of one operation execution.
+type Outcome[R any] struct {
+	// Linearized reports that the operation took effect; Resp is then its
+	// response. When false, the operation definitely did not take effect
+	// and can safely be re-invoked.
+	Linearized bool
+	// Resp is the operation's response (valid when Linearized).
+	Resp R
+	// Crashes counts the crash interruptions this execution survived.
+	Crashes int
+}
+
+func wrap[R comparable](o runtime.Outcome[R]) Outcome[R] {
+	return Outcome[R]{Linearized: o.Status.Linearized(), Resp: o.Resp, Crashes: o.Crashes}
+}
+
+// CrashPlan schedules deterministic crash injection into a single
+// operation, for tests and demos.
+type CrashPlan struct {
+	inner func() nvm.CrashPlan
+}
+
+// CrashAtStep returns a plan that crashes the whole system immediately
+// before the operation's step-th memory primitive (1-based; the caller-side
+// announcement, where present, contributes the first three steps).
+func CrashAtStep(step uint64) CrashPlan {
+	return CrashPlan{inner: func() nvm.CrashPlan { return nvm.CrashAtStep(step) }}
+}
+
+func unwrapPlans(plans []CrashPlan) []nvm.CrashPlan {
+	out := make([]nvm.CrashPlan, len(plans))
+	for i, p := range plans {
+		out[i] = p.inner()
+	}
+	return out
+}

@@ -1,0 +1,243 @@
+package detectable_test
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"detectable"
+)
+
+func TestRegisterRoundTrip(t *testing.T) {
+	sys := detectable.NewSystem(2)
+	reg := sys.NewRegister(0)
+	if out := reg.Write(0, 7); !out.Linearized {
+		t.Fatalf("write outcome %+v", out)
+	}
+	if out := reg.Read(1); !out.Linearized || out.Resp != 7 {
+		t.Fatalf("read outcome %+v", out)
+	}
+	rep, err := sys.Verify(detectable.KindRegister, 0)
+	if err != nil || !rep.DurablyLinearizable {
+		t.Fatalf("verify: %+v err=%v", rep, err)
+	}
+}
+
+func TestRegisterCrashVerdicts(t *testing.T) {
+	sys := detectable.NewSystem(2)
+	reg := sys.NewRegister(100)
+	// Step 10 is Algorithm 1's line-7 store; crashing before it must fail.
+	out := reg.Write(0, 5, detectable.CrashAtStep(10))
+	if out.Linearized {
+		t.Fatalf("outcome %+v, want not linearized", out)
+	}
+	if reg.Value() != 100 {
+		t.Fatalf("value = %d after failed write", reg.Value())
+	}
+	out = reg.Write(0, 5, detectable.CrashAtStep(11))
+	if !out.Linearized || out.Crashes != 1 {
+		t.Fatalf("outcome %+v, want linearized after 1 crash", out)
+	}
+	if reg.Value() != 5 {
+		t.Fatalf("value = %d", reg.Value())
+	}
+	rep, err := sys.Verify(detectable.KindRegister, 100)
+	if err != nil || !rep.DurablyLinearizable {
+		t.Fatalf("verify: %+v err=%v", rep, err)
+	}
+	if rep.Failed != 1 || rep.Recovered != 1 || rep.Crashes != 2 {
+		t.Fatalf("report %+v", rep)
+	}
+}
+
+func TestCASDetectability(t *testing.T) {
+	sys := detectable.NewSystem(2)
+	c := sys.NewCAS(0)
+	if out := c.Cas(0, 0, 5); !out.Linearized || !out.Resp {
+		t.Fatalf("cas outcome %+v", out)
+	}
+	// Crash after the CAS primitive (step 8): recovery proves success.
+	if out := c.Cas(1, 5, 9, detectable.CrashAtStep(8)); !out.Linearized || !out.Resp {
+		t.Fatalf("cas outcome %+v", out)
+	}
+	if c.Value() != 9 {
+		t.Fatalf("value = %d", c.Value())
+	}
+	rep, err := sys.Verify(detectable.KindCAS, 0)
+	if err != nil || !rep.DurablyLinearizable {
+		t.Fatalf("verify: %+v err=%v", rep, err)
+	}
+}
+
+func TestMaxRegisterAlwaysLinearizes(t *testing.T) {
+	sys := detectable.NewSystem(2)
+	m := sys.NewMaxRegister()
+	for step := uint64(1); step <= 2; step++ {
+		if out := m.WriteMax(0, int(step)*10, detectable.CrashAtStep(step)); !out.Linearized {
+			t.Fatalf("step %d: outcome %+v", step, out)
+		}
+	}
+	if out := m.Read(1); out.Resp != 20 {
+		t.Fatalf("read = %d", out.Resp)
+	}
+	if m.Value() != 20 {
+		t.Fatalf("value = %d", m.Value())
+	}
+	rep, err := sys.Verify(detectable.KindMaxRegister, 0)
+	if err != nil || !rep.DurablyLinearizable {
+		t.Fatalf("verify: %+v err=%v", rep, err)
+	}
+}
+
+func TestQueueFacade(t *testing.T) {
+	sys := detectable.NewSystem(2)
+	q := sys.NewQueue()
+	q.Enq(0, 1)
+	q.Enq(0, 2)
+	if got := q.Values(); !reflect.DeepEqual(got, []int{1, 2}) {
+		t.Fatalf("values = %v", got)
+	}
+	if out := q.Deq(1); out.Resp != 1 {
+		t.Fatalf("deq = %d", out.Resp)
+	}
+	if out := q.Deq(1); out.Resp != 2 {
+		t.Fatalf("deq = %d", out.Resp)
+	}
+	if out := q.Deq(1); out.Resp != detectable.EmptyQueue {
+		t.Fatalf("deq on empty = %d", out.Resp)
+	}
+	rep, err := sys.Verify(detectable.KindQueue, 0)
+	if err != nil || !rep.DurablyLinearizable {
+		t.Fatalf("verify: %+v err=%v", rep, err)
+	}
+}
+
+func TestCounterAndFetchAdd(t *testing.T) {
+	sys := detectable.NewSystem(2)
+	c := sys.NewCounter()
+	if got := c.Inc(0); got != 1 {
+		t.Fatalf("inc = %d", got)
+	}
+	if got := c.Inc(1); got != 2 {
+		t.Fatalf("inc = %d", got)
+	}
+	if got := c.Value(0); got != 2 {
+		t.Fatalf("value = %d", got)
+	}
+
+	sys2 := detectable.NewSystem(1)
+	f := sys2.NewFetchAdd()
+	if got := f.Add(0, 5); got != 0 {
+		t.Fatalf("faa = %d", got)
+	}
+	if got := f.Add(0, 5); got != 5 {
+		t.Fatalf("faa = %d", got)
+	}
+}
+
+func TestKVFacade(t *testing.T) {
+	sys := detectable.NewSystem(2)
+	store := sys.NewKV()
+	store.PutDurable(0, "x", 4)
+	if out := store.Get(1, "x"); out.Resp != 4 {
+		t.Fatalf("get = %d", out.Resp)
+	}
+	if got := store.Keys(); !reflect.DeepEqual(got, []string{"x"}) {
+		t.Fatalf("keys = %v", got)
+	}
+}
+
+func TestTASFacade(t *testing.T) {
+	sys := detectable.NewSystem(2)
+	lock := sys.NewTAS()
+	if out := lock.TestAndSet(0); out.Resp != 0 {
+		t.Fatalf("first tas = %d", out.Resp)
+	}
+	if out := lock.TestAndSet(1); out.Resp != 1 {
+		t.Fatalf("second tas = %d", out.Resp)
+	}
+	if lock.Value() != 1 {
+		t.Fatal("bit not set")
+	}
+	lock.Reset(0)
+	if lock.Value() != 0 {
+		t.Fatal("bit not cleared")
+	}
+}
+
+func TestManualCrashDuringIdle(t *testing.T) {
+	sys := detectable.NewSystem(1)
+	reg := sys.NewRegister(3)
+	sys.Crash() // idle crash: nothing in flight, state preserved
+	if out := reg.Read(0); out.Resp != 3 {
+		t.Fatalf("read after idle crash = %d", out.Resp)
+	}
+}
+
+func TestSharedCacheModels(t *testing.T) {
+	sys := detectable.NewSystemWithModel(2, detectable.SharedCacheFlushed)
+	c := sys.NewCAS(0)
+	c.Cas(0, 0, 5)
+	sys.Crash()
+	if out := c.Read(1); out.Resp != 5 {
+		t.Fatalf("flushed model lost a completed CAS: read = %d", out.Resp)
+	}
+
+	raw := detectable.NewSystemWithModel(2, detectable.SharedCacheRaw)
+	c2 := raw.NewCAS(0)
+	c2.Cas(0, 0, 5)
+	raw.Crash()
+	if out := c2.Read(1); out.Resp != 0 {
+		t.Fatalf("raw model persisted an unflushed CAS: read = %d", out.Resp)
+	}
+	rep, err := raw.Verify(detectable.KindCAS, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DurablyLinearizable {
+		t.Fatal("raw shared-cache history verified despite lost completed op")
+	}
+}
+
+func TestPrimitivesCounter(t *testing.T) {
+	sys := detectable.NewSystem(1)
+	reg := sys.NewRegister(0)
+	before := sys.Primitives()
+	reg.Write(0, 1)
+	if sys.Primitives() == before {
+		t.Fatal("no primitives recorded")
+	}
+}
+
+func TestHistoryRendering(t *testing.T) {
+	sys := detectable.NewSystem(1)
+	reg := sys.NewRegister(0)
+	reg.Write(0, 1)
+	if sys.HistoryLen() != 2 {
+		t.Fatalf("history len = %d", sys.HistoryLen())
+	}
+	if sys.History() == "" {
+		t.Fatal("empty history rendering")
+	}
+}
+
+func TestVerifyUnknownKind(t *testing.T) {
+	sys := detectable.NewSystem(1)
+	if _, err := sys.Verify(detectable.ObjectKind(99), 0); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func Example() {
+	sys := detectable.NewSystem(2)
+	cas := sys.NewCAS(0)
+
+	// A crash is injected right after the CAS primitive executes; the
+	// recovery function still reports the operation's true fate.
+	out := cas.Cas(0, 0, 42, detectable.CrashAtStep(8))
+	fmt.Println("linearized:", out.Linearized, "response:", out.Resp, "crashes:", out.Crashes)
+	fmt.Println("value:", cas.Value())
+	// Output:
+	// linearized: true response: true crashes: 1
+	// value: 42
+}

@@ -1,0 +1,153 @@
+// Package baseline implements the prior-work competitors the paper
+// contrasts against, for the space- and time-comparison experiments:
+//
+//   - SeqRegister: a detectable read/write register in the style of Attiya,
+//     Ben-Baruch and Hendler (PODC 2018): every written value is tagged
+//     with a per-process sequence number, making all written values
+//     distinct. Detectability becomes easy — "R still holds what I saw
+//     before my write" proves nothing was linearized in between — but the
+//     sequence numbers grow without bound, which is precisely the
+//     unbounded space complexity the paper's Algorithm 1 eliminates.
+//
+//   - SeqCAS: a detectable CAS in the style of Ben-David, Blelloch,
+//     Friedman and Wei (SPAA 2019): values are tagged ⟨val, p, seq⟩ and
+//     every CASer first records the tag it is about to overwrite into a
+//     per-process help slot, so the overwritten process can later learn
+//     its CAS had succeeded. Again detectable, again unbounded.
+//
+//   - PlainRegister / PlainCAS: non-recoverable objects (one primitive per
+//     operation, no announcement, no recovery), the cost floor for the
+//     overhead benchmarks.
+package baseline
+
+import (
+	"detectable/internal/nvm"
+	"detectable/internal/runtime"
+	"detectable/internal/spec"
+)
+
+// Tagged is a value tagged with its writer and an unbounded per-writer
+// sequence number; tags make all written values distinct.
+type Tagged[V comparable] struct {
+	Val V
+	P   int
+	Seq uint64
+}
+
+// SeqRegister is the unbounded-space detectable read/write register.
+type SeqRegister[V comparable] struct {
+	sys *runtime.System
+	enc func(V) int
+
+	r nvm.CASRegister[Tagged[V]]
+	// rd[p] persists the tag p read before writing; seq[p] is p's private
+	// unbounded operation counter.
+	rd  []nvm.CASRegister[Tagged[V]]
+	seq []nvm.CASRegister[uint64]
+
+	wAnn []*runtime.Ann[int]
+	rAnn []*runtime.Ann[V]
+}
+
+// NewSeqRegister allocates the register initialized to vinit.
+func NewSeqRegister[V comparable](sys *runtime.System, vinit V, enc func(V) int) *SeqRegister[V] {
+	sp := sys.Space()
+	reg := &SeqRegister[V]{
+		sys: sys,
+		enc: enc,
+		r:   nvm.NewWord(sp, Tagged[V]{Val: vinit}),
+	}
+	for p := 0; p < sys.N(); p++ {
+		reg.rd = append(reg.rd, nvm.NewWord(sp, Tagged[V]{}))
+		reg.seq = append(reg.seq, nvm.NewWord(sp, uint64(0)))
+		reg.wAnn = append(reg.wAnn, runtime.NewAnn[int](sp))
+		reg.rAnn = append(reg.rAnn, runtime.NewAnn[V](sp))
+	}
+	return reg
+}
+
+// Write performs a detectable Write(val) as process pid.
+func (reg *SeqRegister[V]) Write(pid int, val V, plans ...nvm.CrashPlan) runtime.Outcome[int] {
+	return runtime.Execute(reg.sys, pid, reg.WriteOp(pid, val), plans...)
+}
+
+// Read performs a detectable Read() as process pid.
+func (reg *SeqRegister[V]) Read(pid int, plans ...nvm.CrashPlan) runtime.Outcome[V] {
+	return runtime.Execute(reg.sys, pid, reg.ReadOp(pid), plans...)
+}
+
+// WriteOp builds the recoverable Write instance for pid.
+func (reg *SeqRegister[V]) WriteOp(pid int, val V) runtime.Op[int] {
+	ann := reg.wAnn[pid]
+	return runtime.Op[int]{
+		Desc:     spec.NewOp(spec.MethodWrite, reg.enc(val)),
+		Announce: func(ctx *nvm.Ctx) { ann.Announce(ctx, "write") },
+		Body: func(ctx *nvm.Ctx) int {
+			s := reg.seq[pid].Load(ctx) + 1
+			reg.seq[pid].Store(ctx, s) // persist the fresh sequence number
+			t := reg.r.Load(ctx)
+			reg.rd[pid].Store(ctx, t) // persist what we saw
+			ann.SetCP(ctx, 1)
+			reg.r.Store(ctx, Tagged[V]{Val: val, P: pid, Seq: s})
+			ann.SetResult(ctx, spec.Ack)
+			return spec.Ack
+		},
+		Recover: func(ctx *nvm.Ctx) (int, bool) {
+			if r := ann.Result(ctx); r.Set {
+				return spec.Ack, true
+			}
+			if ann.GetCP(ctx) == 0 {
+				return 0, false
+			}
+			// All written values are distinct, so R == saved tag certifies
+			// that no write (ours included) was linearized since our read.
+			if reg.r.Load(ctx) == reg.rd[pid].Load(ctx) {
+				return 0, false
+			}
+			// Otherwise either our write is in R, or another write W'
+			// replaced the saved tag — in which case we linearize
+			// immediately before W' (nobody can distinguish).
+			ann.SetResult(ctx, spec.Ack)
+			return spec.Ack, true
+		},
+		Encode: runtime.EncodeInt,
+	}
+}
+
+// ReadOp builds the recoverable Read instance for pid.
+func (reg *SeqRegister[V]) ReadOp(pid int) runtime.Op[V] {
+	ann := reg.rAnn[pid]
+	body := func(ctx *nvm.Ctx) V {
+		t := reg.r.Load(ctx)
+		ann.SetResult(ctx, t.Val)
+		return t.Val
+	}
+	return runtime.Op[V]{
+		Desc:     spec.NewOp(spec.MethodRead),
+		Announce: func(ctx *nvm.Ctx) { ann.Announce(ctx, "read") },
+		Body:     body,
+		Recover: func(ctx *nvm.Ctx) (V, bool) {
+			if r := ann.Result(ctx); r.Set {
+				return r.Val, true
+			}
+			return body(ctx), true
+		},
+		Encode: reg.enc,
+	}
+}
+
+// MaxSeq returns the largest sequence number issued so far — the measure of
+// the register's unbounded space growth (the register must be wide enough
+// to store it).
+func (reg *SeqRegister[V]) MaxSeq() uint64 {
+	var best uint64
+	for _, c := range reg.seq {
+		if v := c.Peek(); v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// PeekVal returns the register's current value without a Ctx, for tests.
+func (reg *SeqRegister[V]) PeekVal() V { return reg.r.Peek().Val }

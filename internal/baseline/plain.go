@@ -1,0 +1,52 @@
+package baseline
+
+import (
+	"detectable/internal/nvm"
+	"detectable/internal/runtime"
+)
+
+// PlainRegister is a non-recoverable read/write register: one primitive per
+// operation, no announcement, no recovery. It is the cost floor for the
+// overhead benchmarks (experiment E9) and the substrate for the Theorem 2
+// discussion: without detectability, no auxiliary state is needed.
+type PlainRegister[V comparable] struct {
+	sys *runtime.System
+	r   *nvm.Cell[V]
+}
+
+// NewPlainRegister allocates the register initialized to vinit.
+func NewPlainRegister[V comparable](sys *runtime.System, vinit V) *PlainRegister[V] {
+	return &PlainRegister[V]{sys: sys, r: nvm.NewCell(sys.Space(), vinit)}
+}
+
+// Write stores val. It is not recoverable: a crash leaves the caller with
+// no way to learn whether the write took effect.
+func (reg *PlainRegister[V]) Write(pid int, val V) {
+	reg.r.Store(reg.sys.Space().Ctx(pid, nil), val)
+}
+
+// Read returns the current value.
+func (reg *PlainRegister[V]) Read(pid int) V {
+	return reg.r.Load(reg.sys.Space().Ctx(pid, nil))
+}
+
+// PlainCAS is a non-recoverable CAS object.
+type PlainCAS[V comparable] struct {
+	sys *runtime.System
+	c   *nvm.Cell[V]
+}
+
+// NewPlainCAS allocates the object initialized to vinit.
+func NewPlainCAS[V comparable](sys *runtime.System, vinit V) *PlainCAS[V] {
+	return &PlainCAS[V]{sys: sys, c: nvm.NewCell(sys.Space(), vinit)}
+}
+
+// Cas atomically swaps old for new, reporting success. Not recoverable.
+func (o *PlainCAS[V]) Cas(pid int, old, new V) bool {
+	return o.c.CompareAndSwap(o.sys.Space().Ctx(pid, nil), old, new)
+}
+
+// Read returns the current value.
+func (o *PlainCAS[V]) Read(pid int) V {
+	return o.c.Load(o.sys.Space().Ctx(pid, nil))
+}

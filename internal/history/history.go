@@ -1,0 +1,128 @@
+// Package history records concurrent executions — invocations, responses,
+// system-wide crashes and recovery verdicts — for offline checking against
+// durable linearizability and detectability.
+//
+// The recorded order of events is a valid real-time order: an event is
+// appended while the operation holds no pending effect that could reorder
+// with it (invocations are logged before the first primitive of the body;
+// responses after the last).
+package history
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"detectable/internal/spec"
+)
+
+// Kind discriminates event types.
+type Kind int
+
+// Event kinds.
+const (
+	// KindInvoke marks the start of an operation attempt.
+	KindInvoke Kind = iota + 1
+	// KindReturn marks a normal (crash-free) completion.
+	KindReturn
+	// KindCrash marks a system-wide crash-failure.
+	KindCrash
+	// KindRecoverReturn marks the completion of a recovery function: either
+	// the recovered response (the operation was linearized) or fail.
+	KindRecoverReturn
+)
+
+// Event is one record in a Log.
+type Event struct {
+	Kind Kind
+	// PID is the process the event belongs to (unused for KindCrash).
+	PID int
+	// Op is the abstract operation being invoked (KindInvoke only).
+	Op spec.Operation
+	// Resp is the response value (KindReturn, and KindRecoverReturn when
+	// Fail is false).
+	Resp int
+	// Fail reports that a recovery function returned the distinguished
+	// fail value, i.e. the crashed operation was not linearized.
+	Fail bool
+}
+
+// String renders the event for diagnostics.
+func (e Event) String() string {
+	switch e.Kind {
+	case KindInvoke:
+		return fmt.Sprintf("p%d.invoke %s", e.PID, e.Op)
+	case KindReturn:
+		return fmt.Sprintf("p%d.return %d", e.PID, e.Resp)
+	case KindCrash:
+		return "CRASH"
+	case KindRecoverReturn:
+		if e.Fail {
+			return fmt.Sprintf("p%d.recover fail", e.PID)
+		}
+		return fmt.Sprintf("p%d.recover %d", e.PID, e.Resp)
+	default:
+		return "unknown"
+	}
+}
+
+// Log is an append-only, concurrency-safe event log. The zero value is
+// ready to use.
+type Log struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// Invoke records the start of op by pid.
+func (l *Log) Invoke(pid int, op spec.Operation) {
+	l.append(Event{Kind: KindInvoke, PID: pid, Op: op})
+}
+
+// Return records a crash-free completion with response resp by pid.
+func (l *Log) Return(pid, resp int) {
+	l.append(Event{Kind: KindReturn, PID: pid, Resp: resp})
+}
+
+// Crash records a system-wide crash-failure.
+func (l *Log) Crash() {
+	l.append(Event{Kind: KindCrash})
+}
+
+// RecoverReturn records the completion of pid's recovery function. fail
+// reports the distinguished fail verdict; otherwise resp is the recovered
+// response of the linearized operation.
+func (l *Log) RecoverReturn(pid, resp int, fail bool) {
+	l.append(Event{Kind: KindRecoverReturn, PID: pid, Resp: resp, Fail: fail})
+}
+
+// Events returns a snapshot copy of the log.
+func (l *Log) Events() []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Event, len(l.events))
+	copy(out, l.events)
+	return out
+}
+
+// Len returns the number of recorded events.
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.events)
+}
+
+// String renders the whole log, one event per line.
+func (l *Log) String() string {
+	evs := l.Events()
+	var b strings.Builder
+	for i, e := range evs {
+		fmt.Fprintf(&b, "%3d %s\n", i, e)
+	}
+	return b.String()
+}
+
+func (l *Log) append(e Event) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.events = append(l.events, e)
+}

@@ -1,0 +1,100 @@
+package history
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"detectable/internal/spec"
+)
+
+func TestAppendOrder(t *testing.T) {
+	var l Log
+	l.Invoke(0, spec.NewOp(spec.MethodWrite, 1))
+	l.Return(0, spec.Ack)
+	l.Crash()
+	l.Invoke(1, spec.NewOp(spec.MethodRead))
+	l.RecoverReturn(1, 1, false)
+
+	evs := l.Events()
+	if len(evs) != 5 {
+		t.Fatalf("len = %d", len(evs))
+	}
+	wantKinds := []Kind{KindInvoke, KindReturn, KindCrash, KindInvoke, KindRecoverReturn}
+	for i, k := range wantKinds {
+		if evs[i].Kind != k {
+			t.Fatalf("event %d kind = %v, want %v", i, evs[i].Kind, k)
+		}
+	}
+	if l.Len() != 5 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+}
+
+func TestEventsReturnsCopy(t *testing.T) {
+	var l Log
+	l.Invoke(0, spec.NewOp(spec.MethodRead))
+	evs := l.Events()
+	evs[0].PID = 99
+	if l.Events()[0].PID != 0 {
+		t.Fatal("Events did not return a copy")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	var l Log
+	l.Invoke(2, spec.NewOp(spec.MethodCAS, 0, 1))
+	l.Return(2, spec.True)
+	l.Crash()
+	l.Invoke(0, spec.NewOp(spec.MethodDeq))
+	l.RecoverReturn(0, 0, true)
+
+	s := l.String()
+	for _, want := range []string{"p2.invoke cas(0,1)", "p2.return 1", "CRASH", "p0.recover fail"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("rendering missing %q:\n%s", want, s)
+		}
+	}
+	if (Event{}).String() != "unknown" {
+		t.Fatal("zero event rendering")
+	}
+	if (Event{Kind: KindRecoverReturn, PID: 3, Resp: 7}).String() != "p3.recover 7" {
+		t.Fatal("recover rendering")
+	}
+}
+
+func TestConcurrentAppends(t *testing.T) {
+	var l Log
+	var wg sync.WaitGroup
+	const procs, each = 8, 100
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				l.Invoke(pid, spec.NewOp(spec.MethodRead))
+				l.Return(pid, i)
+			}
+		}(p)
+	}
+	wg.Wait()
+	if got := l.Len(); got != procs*each*2 {
+		t.Fatalf("Len = %d, want %d", got, procs*each*2)
+	}
+	// Per-process subsequences must alternate invoke/return.
+	open := map[int]bool{}
+	for _, e := range l.Events() {
+		switch e.Kind {
+		case KindInvoke:
+			if open[e.PID] {
+				t.Fatalf("p%d double invoke", e.PID)
+			}
+			open[e.PID] = true
+		case KindReturn:
+			if !open[e.PID] {
+				t.Fatalf("p%d return without invoke", e.PID)
+			}
+			open[e.PID] = false
+		}
+	}
+}

@@ -1,0 +1,96 @@
+// Package kv is a recoverable key-value store built from the paper's
+// bounded-space detectable read/write registers (internal/rw): one register
+// per key, created on first use. It demonstrates composing many detectable
+// objects behind one API while keeping per-object space bounded.
+//
+// Put returns the detectable verdict for the underlying register write, so
+// a caller that crashed mid-put knows whether the new value is visible;
+// PutRetry re-invokes on fail for always-succeeds semantics (the NRL
+// transformation of Section 6).
+package kv
+
+import (
+	"sort"
+	"sync"
+
+	"detectable/internal/nvm"
+	"detectable/internal/runtime"
+	"detectable/internal/rw"
+)
+
+// Store is an N-process recoverable key-value store with int values.
+// Missing keys read as the zero value.
+type Store struct {
+	sys *runtime.System
+
+	mu   sync.RWMutex
+	regs map[string]*rw.Register[int]
+}
+
+// New allocates an empty store in sys's memory space.
+func New(sys *runtime.System) *Store {
+	return &Store{sys: sys, regs: make(map[string]*rw.Register[int])}
+}
+
+// Put writes key := val as process pid and returns the detectable outcome.
+func (s *Store) Put(pid int, key string, val int, plans ...nvm.CrashPlan) runtime.Outcome[int] {
+	return s.reg(key).Write(pid, val, plans...)
+}
+
+// PutRetry writes key := val, re-invoking on fail verdicts until the write
+// is linearized (NRL semantics). It returns the number of invocations.
+func (s *Store) PutRetry(pid int, key string, val int) int {
+	reg := s.reg(key)
+	_, invocations := runtime.ExecuteNRL(s.sys, pid, func() runtime.Op[int] {
+		return reg.WriteOp(pid, val)
+	})
+	return invocations
+}
+
+// Get reads key as process pid and returns the detectable outcome.
+func (s *Store) Get(pid int, key string, plans ...nvm.CrashPlan) runtime.Outcome[int] {
+	return s.reg(key).Read(pid, plans...)
+}
+
+// Keys returns the keys ever written, sorted, for tests and tooling.
+func (s *Store) Keys() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.regs))
+	for k := range s.regs {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Peek returns key's current value without a Ctx, for tests.
+func (s *Store) Peek(key string) int {
+	s.mu.RLock()
+	reg, ok := s.regs[key]
+	s.mu.RUnlock()
+	if !ok {
+		return 0
+	}
+	return reg.PeekTriple().Val
+}
+
+// reg returns (creating if needed) the register backing key. Register
+// creation is treated as metadata management, not a recoverable operation:
+// it allocates NVM cells but performs no primitives.
+func (s *Store) reg(key string) *rw.Register[int] {
+	s.mu.RLock()
+	reg, ok := s.regs[key]
+	s.mu.RUnlock()
+	if ok {
+		return reg
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if reg, ok := s.regs[key]; ok {
+		return reg
+	}
+	reg = rw.NewInt(s.sys, 0)
+	s.regs[key] = reg
+	return reg
+}

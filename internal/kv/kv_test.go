@@ -1,0 +1,141 @@
+package kv
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"detectable/internal/nvm"
+	"detectable/internal/runtime"
+)
+
+func TestPutGet(t *testing.T) {
+	sys := runtime.NewSystem(2)
+	s := New(sys)
+	s.Put(0, "x", 5)
+	if out := s.Get(1, "x"); out.Resp != 5 {
+		t.Fatalf("get x = %d", out.Resp)
+	}
+	if out := s.Get(1, "missing"); out.Resp != 0 {
+		t.Fatalf("get missing = %d, want 0", out.Resp)
+	}
+}
+
+func TestKeysSorted(t *testing.T) {
+	sys := runtime.NewSystem(1)
+	s := New(sys)
+	s.Put(0, "b", 1)
+	s.Put(0, "a", 2)
+	s.Get(0, "c")
+	if got := s.Keys(); !reflect.DeepEqual(got, []string{"a", "b", "c"}) {
+		t.Fatalf("Keys = %v", got)
+	}
+}
+
+func TestPutCrashVerdicts(t *testing.T) {
+	sys := runtime.NewSystem(2)
+	s := New(sys)
+	s.Put(0, "k", 1)
+	// Crash before the register's line-7 store (overall step 10): fail.
+	out := s.Put(0, "k", 9, nvm.CrashAtStep(10))
+	if out.Status != runtime.StatusFailed {
+		t.Fatalf("status %v, want failed", out.Status)
+	}
+	if got := s.Peek("k"); got != 1 {
+		t.Fatalf("k = %d after failed put, want 1", got)
+	}
+	// Crash right after the store (step 11): recovered.
+	out = s.Put(0, "k", 9, nvm.CrashAtStep(11))
+	if out.Status != runtime.StatusRecovered {
+		t.Fatalf("status %v, want recovered", out.Status)
+	}
+	if got := s.Peek("k"); got != 9 {
+		t.Fatalf("k = %d, want 9", got)
+	}
+}
+
+func TestPutRetryAlwaysLands(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	sys := runtime.NewSystem(1)
+	s := New(sys)
+	for i := 0; i < 30; i++ {
+		key := string(rune('a' + rng.Intn(4)))
+		s.PutRetry(0, key, i)
+		if got := s.Peek(key); got != i {
+			t.Fatalf("iter %d: %s = %d, want %d", i, key, got, i)
+		}
+	}
+}
+
+func TestConcurrentDisjointKeys(t *testing.T) {
+	const procs = 4
+	sys := runtime.NewSystem(procs)
+	s := New(sys)
+	var wg sync.WaitGroup
+	keys := []string{"a", "b", "c", "d"}
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			for i := 1; i <= 20; i++ {
+				s.PutRetry(pid, keys[pid], i)
+			}
+		}(p)
+	}
+	wg.Wait()
+	for _, k := range keys {
+		if got := s.Peek(k); got != 20 {
+			t.Fatalf("%s = %d, want 20", k, got)
+		}
+	}
+}
+
+func TestConcurrentSharedKeyWithStorm(t *testing.T) {
+	const procs = 3
+	sys := runtime.NewSystem(procs)
+	s := New(sys)
+	stop := make(chan struct{})
+	var storm sync.WaitGroup
+	storm.Add(1)
+	go func() {
+		defer storm.Done()
+		i := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			i++
+			if i%1500 == 0 {
+				sys.Crash()
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			for i := 1; i <= 10; i++ {
+				s.PutRetry(pid, "shared", pid*100+i)
+				s.Get(pid, "shared")
+			}
+		}(p)
+	}
+	wg.Wait()
+	close(stop)
+	storm.Wait()
+	// The final value must be one of the written values.
+	got := s.Peek("shared")
+	valid := false
+	for p := 0; p < procs; p++ {
+		if got >= p*100+1 && got <= p*100+10 {
+			valid = true
+		}
+	}
+	if !valid {
+		t.Fatalf("shared = %d, not any written value", got)
+	}
+}

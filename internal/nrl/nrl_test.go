@@ -1,0 +1,172 @@
+package nrl
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"detectable/internal/linearize"
+	"detectable/internal/runtime"
+	"detectable/internal/spec"
+)
+
+func TestRegisterAlwaysCompletes(t *testing.T) {
+	sys := runtime.NewSystem(1)
+	reg := NewRegister(sys, 0)
+	if inv := reg.Write(0, 5); inv != 1 {
+		t.Fatalf("crash-free write used %d invocations", inv)
+	}
+	if got := reg.Read(0); got != 5 {
+		t.Fatalf("read = %d", got)
+	}
+}
+
+// TestRegisterRetriesThroughCrashes saturates writes with crashes injected
+// by a saboteur goroutine; every write must eventually land.
+func TestRegisterRetriesThroughCrashes(t *testing.T) {
+	sys := runtime.NewSystem(1)
+	reg := NewRegister(sys, 0)
+
+	stop := make(chan struct{})
+	var storm sync.WaitGroup
+	storm.Add(1)
+	go func() {
+		defer storm.Done()
+		i := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			i++
+			if i%300 == 0 {
+				sys.Crash()
+			}
+		}
+	}()
+
+	totalInv := 0
+	const writes = 40
+	for i := 1; i <= writes; i++ {
+		totalInv += reg.Write(0, i)
+		if got := reg.Peek(); got != i {
+			t.Fatalf("write %d not landed: value %d", i, got)
+		}
+	}
+	close(stop)
+	storm.Wait()
+	if totalInv < writes {
+		t.Fatalf("invocations = %d < writes", totalInv)
+	}
+	t.Logf("%d writes used %d invocations", writes, totalInv)
+}
+
+// TestHistoryStaysLinearizable: NRL re-invocations appear as separate
+// operations (failed attempts excluded); the history must still verify.
+func TestHistoryStaysLinearizable(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	sys := runtime.NewSystem(1)
+	reg := NewRegister(sys, 0)
+	for i := 1; i <= 8; i++ {
+		if rng.Intn(2) == 0 {
+			sys.Crash() // idle crash; exercises epoch churn
+		}
+		reg.Write(0, i)
+		reg.Read(0)
+	}
+	ok, rep, err := linearize.CheckLog(spec.Register{}, sys.Log())
+	if err != nil || !ok {
+		t.Fatalf("history check: ok=%v err=%v", ok, err)
+	}
+	if rep.Failed != 0 && rep.Completed == 0 {
+		t.Fatalf("report %+v", rep)
+	}
+}
+
+func TestCASAlwaysCompletes(t *testing.T) {
+	sys := runtime.NewSystem(1)
+	c := NewCAS(sys, 0)
+	res, inv := c.Cas(0, 0, 9)
+	if !res || inv != 1 {
+		t.Fatalf("cas = (%v, %d)", res, inv)
+	}
+	res, _ = c.Cas(0, 0, 5)
+	if res {
+		t.Fatal("stale cas succeeded")
+	}
+	if got := c.Read(0); got != 9 {
+		t.Fatalf("read = %d", got)
+	}
+}
+
+func TestCASExactlyOnceThroughCrashes(t *testing.T) {
+	sys := runtime.NewSystem(1)
+	c := NewCAS(sys, 0)
+
+	stop := make(chan struct{})
+	var storm sync.WaitGroup
+	storm.Add(1)
+	go func() {
+		defer storm.Done()
+		i := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			i++
+			if i%400 == 0 {
+				sys.Crash()
+			}
+		}
+	}()
+
+	// Monotone chain 0→1→2→…: each NRL Cas(i, i+1) must succeed exactly
+	// once despite crashes (a duplicated application is impossible — the
+	// value would skip).
+	const steps = 30
+	for i := 0; i < steps; i++ {
+		res, _ := c.Cas(0, i, i+1)
+		if !res {
+			t.Fatalf("cas(%d,%d) returned false; chain broken at %d", i, i+1, c.Peek())
+		}
+	}
+	close(stop)
+	storm.Wait()
+	if got := c.Peek(); got != steps {
+		t.Fatalf("value = %d, want %d", got, steps)
+	}
+}
+
+func TestConcurrentNRLWritersLastValueWins(t *testing.T) {
+	const procs = 3
+	sys := runtime.NewSystem(procs)
+	reg := NewRegister(sys, 0)
+	var wg sync.WaitGroup
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			for i := 1; i <= 10; i++ {
+				reg.Write(pid, pid*100+i)
+			}
+		}(p)
+	}
+	wg.Wait()
+	got := reg.Peek()
+	valid := false
+	for p := 0; p < procs; p++ {
+		if got >= p*100+1 && got <= p*100+10 {
+			valid = true
+		}
+	}
+	if !valid {
+		t.Fatalf("final value %d was never written", got)
+	}
+	ok, _, err := linearize.CheckLog(spec.Register{}, sys.Log())
+	if err != nil || !ok {
+		t.Fatalf("history check: ok=%v err=%v", ok, err)
+	}
+}

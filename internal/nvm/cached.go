@@ -1,0 +1,143 @@
+package nvm
+
+import "sync"
+
+// CachedCell is an atomic memory word in the shared-cache model of
+// Izraelevitz et al.: primitives are applied to a volatile shared cache and
+// reach NVM only when explicitly flushed. A system-wide crash discards the
+// cached value, reverting the cell to its last flushed value.
+//
+// Algorithms written for the private-cache model are generally incorrect on
+// raw CachedCells (tests exploit this to demonstrate why the flush
+// transformation is needed); wrap the cell in AutoPersist to apply the
+// syntactic flush-after-write transformation from Section 6 of the paper.
+type CachedCell[T comparable] struct {
+	mu        sync.Mutex
+	persisted T
+	cached    T
+	dirty     bool
+}
+
+// NewCachedCell allocates a shared-cache cell holding init inside sp and
+// registers it for crash handling.
+func NewCachedCell[T comparable](sp *Space, init T) *CachedCell[T] {
+	c := &CachedCell[T]{persisted: init, cached: init}
+	sp.noteCell()
+	sp.register(c)
+	return c
+}
+
+var _ CASRegister[int] = (*CachedCell[int])(nil)
+var _ crashable = (*CachedCell[int])(nil)
+
+// Load atomically reads the cached value.
+func (c *CachedCell[T]) Load(ctx *Ctx) T {
+	ctx.pre(KindLoad)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ctx.enter(KindLoad)
+	return c.cached
+}
+
+// Store atomically writes the cached value. The store is volatile until the
+// cell is flushed.
+func (c *CachedCell[T]) Store(ctx *Ctx, v T) {
+	ctx.pre(KindStore)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ctx.enter(KindStore)
+	c.cached = v
+	c.dirty = true
+}
+
+// CompareAndSwap atomically replaces the cached value with new if it equals
+// old, reporting whether the swap happened. Like Store, the effect is
+// volatile until flushed.
+func (c *CachedCell[T]) CompareAndSwap(ctx *Ctx, old, new T) bool {
+	ctx.pre(KindCAS)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ctx.enter(KindCAS)
+	if c.cached != old {
+		return false
+	}
+	c.cached = new
+	c.dirty = true
+	return true
+}
+
+// Flush persists the cached value to NVM.
+func (c *CachedCell[T]) Flush(ctx *Ctx) {
+	ctx.pre(KindFlush)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ctx.enter(KindFlush)
+	c.persisted = c.cached
+	c.dirty = false
+}
+
+// onCrash reverts the cell to its last persisted value. Called by the Space
+// with the epoch already advanced, so in-flight primitives serialized after
+// the revert observe the crash and panic instead of resurrecting the lost
+// value.
+func (c *CachedCell[T]) onCrash() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.cached = c.persisted
+	c.dirty = false
+}
+
+// Peek returns the cell's cached (current logical) value without a Ctx,
+// for test assertions.
+func (c *CachedCell[T]) Peek() T {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cached
+}
+
+// PeekPersisted returns the cell's persisted value without a Ctx, for test
+// assertions about post-crash NVM contents.
+func (c *CachedCell[T]) PeekPersisted() T {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.persisted
+}
+
+// AutoPersist wraps a CASRegister with the syntactic flush-after-write
+// transformation of Izraelevitz et al. (Section 6 of the paper): every Store
+// and CompareAndSwap is immediately followed by a Flush, so an algorithm
+// proven correct in the private-cache model remains correct in the
+// shared-cache model without source changes.
+type AutoPersist[T comparable] struct {
+	inner CASRegister[T]
+}
+
+// NewAutoPersist wraps inner with the flush-after-write transformation.
+func NewAutoPersist[T comparable](inner CASRegister[T]) *AutoPersist[T] {
+	return &AutoPersist[T]{inner: inner}
+}
+
+var _ CASRegister[int] = (*AutoPersist[int])(nil)
+
+// Load atomically reads the underlying register.
+func (a *AutoPersist[T]) Load(ctx *Ctx) T { return a.inner.Load(ctx) }
+
+// Peek returns the underlying register's current logical value.
+func (a *AutoPersist[T]) Peek() T { return a.inner.Peek() }
+
+// Store writes the underlying register and immediately persists it.
+func (a *AutoPersist[T]) Store(ctx *Ctx, v T) {
+	a.inner.Store(ctx, v)
+	a.inner.Flush(ctx)
+}
+
+// CompareAndSwap performs the swap on the underlying register and
+// immediately persists it.
+func (a *AutoPersist[T]) CompareAndSwap(ctx *Ctx, old, new T) bool {
+	ok := a.inner.CompareAndSwap(ctx, old, new)
+	a.inner.Flush(ctx)
+	return ok
+}
+
+// Flush persists the underlying register.
+func (a *AutoPersist[T]) Flush(ctx *Ctx) { a.inner.Flush(ctx) }

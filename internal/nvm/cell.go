@@ -1,0 +1,132 @@
+package nvm
+
+import "sync"
+
+// Register is the read/write primitive interface shared by both memory
+// models. Algorithms are written against Register (or CASRegister) so the
+// same code runs under the private-cache model (Cell), the raw shared-cache
+// model (CachedCell, correct only with explicit flushes) and the
+// flush-after-write transformation of Izraelevitz et al. (AutoPersist).
+type Register[T comparable] interface {
+	// Load atomically reads the register.
+	Load(ctx *Ctx) T
+	// Store atomically writes the register.
+	Store(ctx *Ctx, v T)
+	// Flush persists the register's current value to NVM. It is a no-op in
+	// the private-cache model, where every primitive persists immediately.
+	Flush(ctx *Ctx)
+}
+
+// CASRegister is a Register that additionally supports the atomic
+// compare-and-swap primitive.
+type CASRegister[T comparable] interface {
+	Register[T]
+	// CompareAndSwap atomically replaces the register's value with new if
+	// it currently equals old, reporting whether the swap happened.
+	CompareAndSwap(ctx *Ctx, old, new T) bool
+	// Peek returns the register's current logical value without a Ctx. It
+	// is intended for test assertions and checkers; algorithm code must use
+	// Load.
+	Peek() T
+}
+
+// NewWord allocates a CAS-capable memory word in sp according to sp's
+// memory model:
+//
+//   - ModelPrivateCache: a Cell — every primitive persists immediately.
+//   - ModelSharedCacheAuto: a CachedCell wrapped in the flush-after-write
+//     transformation of Izraelevitz et al. (Section 6 of the paper).
+//   - ModelSharedCacheRaw: a bare CachedCell — primitives are volatile
+//     until flushed, which breaks algorithms written for the private-cache
+//     model (used by tests that demonstrate why the transformation is
+//     needed).
+//
+// All algorithm packages allocate their shared and private non-volatile
+// variables through NewWord, so the same algorithm code runs under every
+// model.
+func NewWord[T comparable](sp *Space, init T) CASRegister[T] {
+	switch sp.Model() {
+	case ModelSharedCacheAuto:
+		return NewAutoPersist[T](NewCachedCell(sp, init))
+	case ModelSharedCacheRaw:
+		return NewCachedCell(sp, init)
+	default:
+		return NewCell(sp, init)
+	}
+}
+
+// Cell is an atomic non-volatile memory word in the private-cache model:
+// every primitive is applied directly to NVM, so a system-wide crash
+// preserves the cell's value.
+//
+// Use NewCell to allocate one inside a Space.
+type Cell[T comparable] struct {
+	mu sync.Mutex
+	v  T
+}
+
+// NewCell allocates a cell holding init inside sp. The Space records the
+// allocation for space accounting; Cells need no crash handling.
+func NewCell[T comparable](sp *Space, init T) *Cell[T] {
+	c := &Cell[T]{v: init}
+	sp.noteCell()
+	return c
+}
+
+var _ CASRegister[int] = (*Cell[int])(nil)
+
+// Load atomically reads the cell.
+func (c *Cell[T]) Load(ctx *Ctx) T {
+	ctx.pre(KindLoad)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ctx.enter(KindLoad)
+	return c.v
+}
+
+// Store atomically writes the cell. In the private-cache model the value is
+// persisted immediately.
+func (c *Cell[T]) Store(ctx *Ctx, v T) {
+	ctx.pre(KindStore)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ctx.enter(KindStore)
+	c.v = v
+}
+
+// CompareAndSwap atomically replaces the cell's value with new if it equals
+// old, reporting whether the swap happened.
+func (c *Cell[T]) CompareAndSwap(ctx *Ctx, old, new T) bool {
+	ctx.pre(KindCAS)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ctx.enter(KindCAS)
+	if c.v != old {
+		return false
+	}
+	c.v = new
+	return true
+}
+
+// Flush is a no-op: private-cache primitives persist immediately. It still
+// validates the epoch so crash points remain between primitives.
+func (c *Cell[T]) Flush(ctx *Ctx) {
+	ctx.CheckAlive()
+}
+
+// Peek returns the cell's value without a Ctx. It is intended for test
+// assertions and checkers that inspect post-crash NVM state; algorithm code
+// must use Load.
+func (c *Cell[T]) Peek() T {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.v
+}
+
+// Poke overwrites the cell's value without a Ctx. It is intended for test
+// setup only.
+func (c *Cell[T]) Poke(v T) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.v = v
+}

@@ -1,0 +1,159 @@
+package nvm
+
+// Ctx is the execution context of a single operation (or recovery-function)
+// attempt by one process. It is not safe for concurrent use: each attempt
+// gets a fresh Ctx bound to the epoch at which the attempt started.
+//
+// Every primitive on a Cell or CachedCell calls into the Ctx before touching
+// memory. The Ctx:
+//
+//   - checks the operation's epoch against the system epoch and panics with
+//     Crashed if a crash happened since the attempt began;
+//   - consults the crash plan (if any) so deterministic tests can inject a
+//     system-wide crash immediately before a chosen primitive step;
+//   - counts primitive steps and updates shared statistics.
+type Ctx struct {
+	pid   int
+	epoch *Epoch
+	start uint64
+	plan  CrashPlan
+	stats *Stats
+
+	steps uint64
+}
+
+// NewCtx returns a context for one attempt by process pid, bound to the
+// current epoch. Both plan and stats may be nil.
+func NewCtx(pid int, epoch *Epoch, plan CrashPlan, stats *Stats) *Ctx {
+	return &Ctx{pid: pid, epoch: epoch, start: epoch.Current(), plan: plan, stats: stats}
+}
+
+// PID returns the process identifier the context belongs to.
+func (c *Ctx) PID() int { return c.pid }
+
+// StartEpoch returns the epoch at which this attempt began.
+func (c *Ctx) StartEpoch() uint64 { return c.start }
+
+// Steps returns the number of primitive operations performed so far under
+// this context.
+func (c *Ctx) Steps() uint64 { return c.steps }
+
+// pre runs the bookkeeping that precedes every primitive while NO cell lock
+// is held: it advances the step counter, consults the crash plan (whose
+// hooks may run arbitrary code, including other processes' operations — the
+// deterministic-interleaving mechanism used by schedule-driven tests) and
+// fails fast on a stale epoch.
+func (c *Ctx) pre(kind OpKind) {
+	c.steps++
+	if c.plan != nil && c.plan.CrashBefore(c, kind) {
+		// A planned system-wide crash: advance the epoch so every other
+		// in-flight operation dies at its next primitive, then die here.
+		c.epoch.Advance()
+	}
+	c.CheckAlive()
+}
+
+// enter validates the epoch while the cell lock is held and records the
+// primitive. The under-lock check guarantees the crash ordering invariant:
+// a store serialized before a crash-revert completes before the revert
+// wipes it, and a store serialized after the revert observes the advanced
+// epoch and panics instead of resurrecting lost state.
+func (c *Ctx) enter(kind OpKind) {
+	if cur := c.epoch.Current(); cur != c.start {
+		panic(Crashed{PID: c.pid, StartEpoch: c.start, ObservedEpoch: cur})
+	}
+	if c.stats != nil {
+		c.stats.record(kind)
+	}
+}
+
+// CheckAlive panics with Crashed if a system crash happened since the
+// attempt began. Algorithms with local-only loops (e.g. the max-register
+// double collect) call it to bound the time until an in-flight operation
+// observes a crash even when it performs no shared-memory primitive.
+func (c *Ctx) CheckAlive() {
+	if cur := c.epoch.Current(); cur != c.start {
+		panic(Crashed{PID: c.pid, StartEpoch: c.start, ObservedEpoch: cur})
+	}
+}
+
+// CrashPlan decides whether a system-wide crash should be injected
+// immediately before a primitive step. Implementations must be safe for use
+// from the single goroutine driving the Ctx.
+//
+// CrashBefore is invoked while no cell lock is held, so implementations may
+// run arbitrary code — including driving other processes' operations to
+// completion — before answering. Schedule-driven tests use this (see
+// StepHook) to realize the paper's adversarial interleavings.
+type CrashPlan interface {
+	// CrashBefore reports whether the system should crash immediately
+	// before the context performs its next primitive of the given kind.
+	// The context's step counter has already been advanced, so
+	// ctx.Steps() == 1 for the first primitive of the attempt.
+	CrashBefore(ctx *Ctx, kind OpKind) bool
+}
+
+// CrashAtStep returns a plan that injects exactly one system-wide crash
+// immediately before the step-th primitive (1-based) of the attempt.
+func CrashAtStep(step uint64) CrashPlan { return &crashAtStep{step: step} }
+
+type crashAtStep struct {
+	step  uint64
+	fired bool
+}
+
+func (p *crashAtStep) CrashBefore(ctx *Ctx, _ OpKind) bool {
+	if p.fired || ctx.Steps() != p.step {
+		return false
+	}
+	p.fired = true
+	return true
+}
+
+// NeverCrash returns a plan that never injects a crash. It is equivalent to
+// a nil plan and exists for table-driven tests.
+func NeverCrash() CrashPlan { return neverCrash{} }
+
+type neverCrash struct{}
+
+func (neverCrash) CrashBefore(*Ctx, OpKind) bool { return false }
+
+// StepHook is a CrashPlan that injects no crash itself but runs Fn
+// immediately before the Step-th primitive (1-based) of the attempt, once.
+// Fn runs outside all cell locks, so it may drive other processes'
+// operations to completion — the mechanism schedule-driven tests use to
+// reproduce the paper's adversarial interleavings (e.g. the ABA schedule of
+// Algorithm 1's correctness proof). Fn may also crash the system itself.
+type StepHook struct {
+	Step  uint64
+	Fn    func()
+	fired bool
+}
+
+var _ CrashPlan = (*StepHook)(nil)
+
+// CrashBefore implements CrashPlan.
+func (h *StepHook) CrashBefore(ctx *Ctx, _ OpKind) bool {
+	if !h.fired && ctx.Steps() == h.Step {
+		h.fired = true
+		h.Fn()
+	}
+	return false
+}
+
+// Plans combines several CrashPlans: every plan is consulted on every step
+// (so hooks always fire), and a crash is injected if any plan requests one.
+type Plans []CrashPlan
+
+var _ CrashPlan = Plans(nil)
+
+// CrashBefore implements CrashPlan.
+func (ps Plans) CrashBefore(ctx *Ctx, kind OpKind) bool {
+	crash := false
+	for _, p := range ps {
+		if p != nil && p.CrashBefore(ctx, kind) {
+			crash = true
+		}
+	}
+	return crash
+}

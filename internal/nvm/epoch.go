@@ -1,0 +1,48 @@
+package nvm
+
+import "sync/atomic"
+
+// Epoch is the system-wide failure epoch. It starts at zero and advances by
+// one on every system-wide crash. Operations capture the epoch at invocation
+// time; a primitive performed under a stale epoch panics with Crashed.
+//
+// The zero value is ready to use.
+type Epoch struct {
+	n    atomic.Uint64
+	hook atomic.Pointer[func()]
+}
+
+// Current returns the current epoch number.
+func (e *Epoch) Current() uint64 { return e.n.Load() }
+
+// Advance moves to the next epoch, simulating a system-wide crash, and
+// invokes the advance hook (if any). It returns the new epoch number.
+func (e *Epoch) Advance() uint64 {
+	v := e.n.Add(1)
+	if f := e.hook.Load(); f != nil {
+		(*f)()
+	}
+	return v
+}
+
+// SetAdvanceHook installs f to run on every Advance, whether triggered by
+// an explicit system crash or by a crash plan inside an operation. The
+// runtime uses it to record crash events in the history log.
+func (e *Epoch) SetAdvanceHook(f func()) { e.hook.Store(&f) }
+
+// Crashed is the panic value raised by a primitive operation performed by an
+// operation whose epoch predates the current one. It models the death of the
+// executing process: the Go stack unwinds, discarding volatile locals, and
+// the runtime catches the panic and schedules the recovery function.
+type Crashed struct {
+	// PID is the process whose operation observed the crash.
+	PID int
+	// StartEpoch is the epoch at which the crashed operation started.
+	StartEpoch uint64
+	// ObservedEpoch is the epoch observed when the primitive was attempted.
+	ObservedEpoch uint64
+}
+
+// Error implements error so Crashed can also travel as a value where panics
+// are inconvenient (e.g. in table-driven tests).
+func (c Crashed) Error() string { return "nvm: operation interrupted by system crash" }

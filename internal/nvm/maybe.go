@@ -1,0 +1,17 @@
+package nvm
+
+// Maybe is an optional value with comparable semantics, used for fields the
+// paper initializes to the distinguished value ⊥ (e.g. Ann_p.resp). The zero
+// value is ⊥.
+type Maybe[T comparable] struct {
+	// Set reports whether a value is present.
+	Set bool
+	// Val is the value when Set is true, and the zero value otherwise.
+	Val T
+}
+
+// Some returns a present Maybe holding v.
+func Some[T comparable](v T) Maybe[T] { return Maybe[T]{Set: true, Val: v} }
+
+// None returns the absent value ⊥.
+func None[T comparable]() Maybe[T] { return Maybe[T]{} }

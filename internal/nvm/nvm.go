@@ -1,0 +1,50 @@
+// Package nvm simulates byte-addressable non-volatile main memory for the
+// crash-recovery model of Ben-Baruch, Hendler and Rusanovsky (PODC 2020).
+//
+// The package provides two memory models:
+//
+//   - The private-cache model: Cell[T] applies every primitive directly to
+//     simulated NVM. A system-wide crash preserves every Cell.
+//   - The shared-cache model: CachedCell[T] applies primitives to a volatile
+//     cache. Values reach NVM only via Flush (or a CAS, which persists by
+//     definition in our simulation). A crash reverts unflushed stores.
+//
+// Every primitive operation takes a *Ctx, the per-operation execution
+// context. The Ctx carries the epoch at which the operation started; when
+// the system crashes the epoch advances and the next primitive performed by
+// any in-flight operation panics with Crashed. The Go stack unwinds,
+// discarding all volatile local variables exactly as a crash discards
+// volatile state, while Cells (the simulated NVM) survive.
+//
+// Crash points therefore sit between primitive operations, which is
+// precisely the granularity of the abstract model in the paper: primitives
+// themselves are atomic.
+package nvm
+
+// OpKind identifies the primitive a Ctx is about to perform. Crash plans
+// use it to target specific primitives deterministically.
+type OpKind int
+
+// Primitive operation kinds.
+const (
+	KindLoad OpKind = iota + 1
+	KindStore
+	KindCAS
+	KindFlush
+)
+
+// String returns a short human-readable name for the primitive kind.
+func (k OpKind) String() string {
+	switch k {
+	case KindLoad:
+		return "load"
+	case KindStore:
+		return "store"
+	case KindCAS:
+		return "cas"
+	case KindFlush:
+		return "flush"
+	default:
+		return "unknown"
+	}
+}

@@ -1,0 +1,120 @@
+package nvm
+
+import "sync"
+
+// crashable is implemented by memory components with volatile state that a
+// system-wide crash discards.
+type crashable interface {
+	onCrash()
+}
+
+// Model selects how NewWord materializes memory words (Section 6 of the
+// paper).
+type Model int
+
+// Memory models.
+const (
+	// ModelPrivateCache is the abstract model the paper's algorithms are
+	// written in: primitives apply directly to NVM.
+	ModelPrivateCache Model = iota + 1
+	// ModelSharedCacheAuto is the realistic shared-cache model with the
+	// flush-after-write transformation applied, preserving correctness.
+	ModelSharedCacheAuto
+	// ModelSharedCacheRaw is the shared-cache model with no persistency
+	// instructions; crash-free runs behave identically, but crashes lose
+	// unflushed effects — including effects of completed operations.
+	ModelSharedCacheRaw
+)
+
+// String returns a short name for the model.
+func (m Model) String() string {
+	switch m {
+	case ModelPrivateCache:
+		return "private-cache"
+	case ModelSharedCacheAuto:
+		return "shared-cache+flush"
+	case ModelSharedCacheRaw:
+		return "shared-cache-raw"
+	default:
+		return "unknown"
+	}
+}
+
+// Space is one simulated memory system: it owns the failure epoch, the
+// primitive-operation statistics and the registry of volatile components
+// that must be reset on a crash. All higher-level objects (registers, CAS
+// objects, announcement structures, ...) allocate their cells inside a
+// Space.
+//
+// The zero value is ready to use.
+type Space struct {
+	epoch Epoch
+	stats Stats
+	model Model
+
+	mu         sync.Mutex
+	crashables []crashable
+	cells      int
+}
+
+// NewSpace returns an empty memory system under the private-cache model.
+func NewSpace() *Space { return &Space{model: ModelPrivateCache} }
+
+// NewSpaceModel returns an empty memory system under the given model.
+func NewSpaceModel(m Model) *Space { return &Space{model: m} }
+
+// Model returns the space's memory model.
+func (s *Space) Model() Model {
+	if s.model == 0 {
+		return ModelPrivateCache
+	}
+	return s.model
+}
+
+// Epoch returns the space's failure epoch.
+func (s *Space) Epoch() *Epoch { return &s.epoch }
+
+// Stats returns the space's primitive-operation statistics.
+func (s *Space) Stats() *Stats { return &s.stats }
+
+// Ctx returns a fresh execution context for one operation attempt by
+// process pid, bound to the current epoch. plan may be nil.
+func (s *Space) Ctx(pid int, plan CrashPlan) *Ctx {
+	return NewCtx(pid, &s.epoch, plan, &s.stats)
+}
+
+// Crash simulates a system-wide crash-failure: the epoch advances (so every
+// in-flight operation panics with Crashed at its next primitive) and all
+// registered volatile state — shared-cache contents — is discarded. Values
+// already persisted to NVM survive. It returns the new epoch.
+func (s *Space) Crash() uint64 {
+	// Advance first: any store that serializes after a cache revert must
+	// observe the new epoch and die rather than resurrect the lost value.
+	e := s.epoch.Advance()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, c := range s.crashables {
+		c.onCrash()
+	}
+	return e
+}
+
+// CellCount returns the number of memory cells allocated in the space, used
+// by the space-accounting experiments.
+func (s *Space) CellCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cells
+}
+
+func (s *Space) register(c crashable) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.crashables = append(s.crashables, c)
+}
+
+func (s *Space) noteCell() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cells++
+}

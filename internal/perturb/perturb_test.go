@@ -1,0 +1,271 @@
+package perturb
+
+import (
+	"testing"
+
+	"detectable/internal/spec"
+)
+
+// TestLemma3Register: a read/write register is doubly-perturbing; the
+// paper's witness is write_p(v1) perturbing read_q.
+func TestLemma3Register(t *testing.T) {
+	res := FindDoublyPerturbing(spec.Register{}, 2, 4)
+	if !res.Doubly {
+		t.Fatal("register not found doubly-perturbing")
+	}
+	if res.Witness.Op.Method != spec.MethodWrite {
+		t.Fatalf("witness op = %s, expected a write", res.Witness.Op)
+	}
+	t.Logf("witness: %s", res.Witness)
+}
+
+// TestLemma4MaxRegister: a max register is NOT doubly-perturbing. The
+// reachable state space over a finite domain saturates, so the negative
+// verdict is exhaustive.
+func TestLemma4MaxRegister(t *testing.T) {
+	res := FindDoublyPerturbing(spec.MaxRegister{}, 4, 8)
+	if res.Doubly {
+		t.Fatalf("max register found doubly-perturbing: %s", res.Witness)
+	}
+	if !res.Exhaustive {
+		t.Fatal("search not exhaustive despite finite state space")
+	}
+	if res.StatesExplored < 4 {
+		t.Fatalf("explored only %d states", res.StatesExplored)
+	}
+}
+
+// TestLemma5Counter: a counter is doubly-perturbing (witness: inc_p
+// perturbing read_q, with an empty extension).
+func TestLemma5Counter(t *testing.T) {
+	res := FindDoublyPerturbing(spec.Counter{}, 3, 4)
+	if !res.Doubly {
+		t.Fatal("counter not found doubly-perturbing")
+	}
+	if res.Witness.Op.Method != spec.MethodInc {
+		t.Fatalf("witness op = %s, expected inc", res.Witness.Op)
+	}
+}
+
+// TestLemma5BoundedCounter: the bounded counter supporting {0,1,2} is
+// doubly-perturbing too (the appendix uses it to separate the classes).
+func TestLemma5BoundedCounter(t *testing.T) {
+	res := FindDoublyPerturbing(spec.Counter{Bound: 2}, 3, 4)
+	if !res.Doubly {
+		t.Fatal("bounded counter not found doubly-perturbing")
+	}
+}
+
+// TestLemma6CAS: a compare-and-swap object is doubly-perturbing; the
+// paper's witness is CAS_p(v0,v1) with extension CAS_q(v1,v0).
+func TestLemma6CAS(t *testing.T) {
+	res := FindDoublyPerturbing(spec.CAS{}, 2, 4)
+	if !res.Doubly {
+		t.Fatal("CAS not found doubly-perturbing")
+	}
+	if res.Witness.Op.Method != spec.MethodCAS && res.Witness.Op.Method != spec.MethodRead {
+		t.Fatalf("witness op = %s", res.Witness.Op)
+	}
+	t.Logf("witness: %s", res.Witness)
+}
+
+// TestLemma7FAA: fetch-and-add is doubly-perturbing.
+func TestLemma7FAA(t *testing.T) {
+	res := FindDoublyPerturbing(spec.FAA{}, 3, 4)
+	if !res.Doubly {
+		t.Fatal("FAA not found doubly-perturbing")
+	}
+}
+
+// TestLemma8Queue: a FIFO queue is doubly-perturbing; the paper's witness
+// is Deq_p after Enq(v0)◦Enq(v1).
+func TestLemma8Queue(t *testing.T) {
+	res := FindDoublyPerturbing(spec.Queue{}, 2, 5)
+	if !res.Doubly {
+		t.Fatal("queue not found doubly-perturbing")
+	}
+	t.Logf("witness: %s", res.Witness)
+}
+
+// TestMaxRegisterPerturbable: writeMax(i) with escalating arguments changes
+// a read's response unboundedly — the max register IS perturbable, despite
+// not being doubly-perturbing (the incomparability of the two classes).
+func TestMaxRegisterPerturbable(t *testing.T) {
+	depth := PerturbationDepth(
+		spec.MaxRegister{},
+		nil,
+		func(i int) spec.Operation { return spec.NewOp(spec.MethodWriteMax, i) },
+		spec.NewOp(spec.MethodRead),
+		50,
+	)
+	if depth != 50 {
+		t.Fatalf("perturbation depth = %d, want the 50 cap (unbounded)", depth)
+	}
+}
+
+// TestBoundedCounterNotPerturbable: increments change a read's response at
+// most Bound times — the bounded counter is NOT perturbable, despite being
+// doubly-perturbing.
+func TestBoundedCounterNotPerturbable(t *testing.T) {
+	depth := PerturbationDepth(
+		spec.Counter{Bound: 2},
+		nil,
+		func(int) spec.Operation { return spec.NewOp(spec.MethodInc) },
+		spec.NewOp(spec.MethodRead),
+		50,
+	)
+	if depth != 2 {
+		t.Fatalf("perturbation depth = %d, want exactly 2", depth)
+	}
+}
+
+// TestUnboundedCounterPerturbable: the plain counter is perturbable.
+func TestUnboundedCounterPerturbable(t *testing.T) {
+	depth := PerturbationDepth(
+		spec.Counter{},
+		nil,
+		func(int) spec.Operation { return spec.NewOp(spec.MethodInc) },
+		spec.NewOp(spec.MethodRead),
+		50,
+	)
+	if depth != 50 {
+		t.Fatalf("perturbation depth = %d, want cap", depth)
+	}
+}
+
+// TestTASDoublyPerturbing: resettable test-and-set is in the paper's
+// doubly-perturbing class (mentioned alongside read/write, CAS and queue in
+// Section 5).
+func TestTASDoublyPerturbing(t *testing.T) {
+	res := FindDoublyPerturbing(spec.TAS{}, 2, 4)
+	if !res.Doubly {
+		t.Fatal("resettable TAS not found doubly-perturbing")
+	}
+	t.Logf("witness: %s", res.Witness)
+}
+
+// TestSwapDoublyPerturbing: swap is doubly-perturbing (a perturbable object
+// per Jayanti et al. that also satisfies Definition 3).
+func TestSwapDoublyPerturbing(t *testing.T) {
+	res := FindDoublyPerturbing(spec.Swap{}, 2, 4)
+	if !res.Doubly {
+		t.Fatal("swap not found doubly-perturbing")
+	}
+}
+
+// TestRegisterPerturbableWithDistinctValues: repeated writes of DISTINCT
+// values keep changing a read's response — the register is perturbable.
+func TestRegisterPerturbableWithDistinctValues(t *testing.T) {
+	depth := PerturbationDepth(
+		spec.Register{},
+		nil,
+		func(i int) spec.Operation { return spec.NewOp(spec.MethodWrite, i) },
+		spec.NewOp(spec.MethodRead),
+		50,
+	)
+	if depth != 50 {
+		t.Fatalf("perturbation depth = %d, want cap", depth)
+	}
+}
+
+// TestQueuePerturbableWithPrefill: dequeues from a prefilled queue of
+// distinct values keep changing a probe dequeue's response.
+func TestQueuePerturbableWithPrefill(t *testing.T) {
+	var setup []spec.Operation
+	for i := 1; i <= 52; i++ {
+		setup = append(setup, spec.NewOp(spec.MethodEnq, i))
+	}
+	depth := PerturbationDepth(
+		spec.Queue{},
+		setup,
+		func(int) spec.Operation { return spec.NewOp(spec.MethodDeq) },
+		spec.NewOp(spec.MethodDeq),
+		50,
+	)
+	if depth != 50 {
+		t.Fatalf("perturbation depth = %d, want cap", depth)
+	}
+}
+
+// TestCASPerturbableWithAlternation: alternating cas(0,1)/cas(1,0) changes
+// a read's response every time.
+func TestCASPerturbableWithAlternation(t *testing.T) {
+	depth := PerturbationDepth(
+		spec.CAS{},
+		nil,
+		func(i int) spec.Operation {
+			if i%2 == 1 {
+				return spec.NewOp(spec.MethodCAS, 0, 1)
+			}
+			return spec.NewOp(spec.MethodCAS, 1, 0)
+		},
+		spec.NewOp(spec.MethodRead),
+		50,
+	)
+	if depth != 50 {
+		t.Fatalf("perturbation depth = %d, want cap", depth)
+	}
+}
+
+// TestSetupApplied: the setup sequence shifts the starting state.
+func TestSetupApplied(t *testing.T) {
+	depth := PerturbationDepth(
+		spec.Counter{Bound: 2},
+		[]spec.Operation{spec.NewOp(spec.MethodInc)}, // start at 1 of 2
+		func(int) spec.Operation { return spec.NewOp(spec.MethodInc) },
+		spec.NewOp(spec.MethodRead),
+		50,
+	)
+	if depth != 1 {
+		t.Fatalf("perturbation depth = %d, want 1 (only one step of headroom left)", depth)
+	}
+}
+
+// TestWitnessMatchesPaperLemma3 replays the exact construction from the
+// paper's proof of Lemma 3 and validates it against the Definition 3
+// checker's primitives.
+func TestWitnessMatchesPaperLemma3(t *testing.T) {
+	obj := spec.Register{}
+	ops := obj.Ops(2)
+	// H1 = empty; write(1) perturbs read.
+	if _, ok := perturbingAfter(obj, obj.Init(), spec.NewOp(spec.MethodWrite, 1), ops); !ok {
+		t.Fatal("write(1) not perturbing after empty history")
+	}
+	// H2 = write(1)◦read◦write(0): write(1) perturbing again.
+	st := obj.Init()
+	for _, op := range []spec.Operation{
+		spec.NewOp(spec.MethodWrite, 1),
+		spec.NewOp(spec.MethodRead),
+		spec.NewOp(spec.MethodWrite, 0),
+	} {
+		st, _ = obj.Apply(st, op)
+	}
+	if _, ok := perturbingAfter(obj, st, spec.NewOp(spec.MethodWrite, 1), ops); !ok {
+		t.Fatal("write(1) not perturbing after H2")
+	}
+}
+
+// TestReachableSaturation: small finite objects saturate; the queue (whose
+// state space is infinite) does not within the bound.
+func TestReachableSaturation(t *testing.T) {
+	_, sat := reachable(spec.Register{}, "0", spec.Register{}.Ops(2), 5)
+	if !sat {
+		t.Fatal("register state space did not saturate")
+	}
+	_, sat = reachable(spec.Queue{}, "", spec.Queue{}.Ops(2), 4)
+	if sat {
+		t.Fatal("queue state space reported saturated")
+	}
+}
+
+// TestResultStringRendering sanity-checks the diagnostic output.
+func TestResultStringRendering(t *testing.T) {
+	res := FindDoublyPerturbing(spec.Register{}, 2, 3)
+	if !res.Doubly {
+		t.Fatal("no witness")
+	}
+	s := res.Witness.String()
+	if s == "" {
+		t.Fatal("empty witness rendering")
+	}
+}

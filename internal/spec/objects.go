@@ -1,0 +1,247 @@
+package spec
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Register is the sequential specification of a read/write register over an
+// integer domain, initialized to InitVal.
+type Register struct {
+	InitVal int
+}
+
+var _ Object = Register{}
+
+// Name implements Object.
+func (Register) Name() string { return "register" }
+
+// Init implements Object.
+func (r Register) Init() string { return strconv.Itoa(r.InitVal) }
+
+// Apply implements Object. read() returns the current value; write(v)
+// replaces it and returns Ack.
+func (Register) Apply(state string, op Operation) (string, int) {
+	switch op.Method {
+	case MethodRead:
+		return state, atoi(state)
+	case MethodWrite:
+		return strconv.Itoa(op.Args[0]), Ack
+	default:
+		panic(fmt.Sprintf("spec: register does not support %q", op.Method))
+	}
+}
+
+// Ops implements Object.
+func (Register) Ops(domain int) []Operation {
+	ops := []Operation{NewOp(MethodRead)}
+	for v := 0; v < domain; v++ {
+		ops = append(ops, NewOp(MethodWrite, v))
+	}
+	return ops
+}
+
+// CAS is the sequential specification of a compare-and-swap object over an
+// integer domain, initialized to InitVal. It also supports read.
+type CAS struct {
+	InitVal int
+}
+
+var _ Object = CAS{}
+
+// Name implements Object.
+func (CAS) Name() string { return "cas" }
+
+// Init implements Object.
+func (c CAS) Init() string { return strconv.Itoa(c.InitVal) }
+
+// Apply implements Object. cas(old,new) swaps and returns True when the
+// state equals old, and returns False otherwise; read() returns the value.
+func (CAS) Apply(state string, op Operation) (string, int) {
+	switch op.Method {
+	case MethodRead:
+		return state, atoi(state)
+	case MethodCAS:
+		if atoi(state) == op.Args[0] {
+			return strconv.Itoa(op.Args[1]), True
+		}
+		return state, False
+	default:
+		panic(fmt.Sprintf("spec: cas does not support %q", op.Method))
+	}
+}
+
+// Ops implements Object.
+func (CAS) Ops(domain int) []Operation {
+	ops := []Operation{NewOp(MethodRead)}
+	for o := 0; o < domain; o++ {
+		for n := 0; n < domain; n++ {
+			ops = append(ops, NewOp(MethodCAS, o, n))
+		}
+	}
+	return ops
+}
+
+// Counter is the sequential specification of a counter supporting inc() and
+// read(). Bound > 0 caps the counter at Bound (the bounded counter of the
+// appendix, which is doubly-perturbing but not perturbable); Bound == 0
+// means unbounded.
+type Counter struct {
+	Bound int
+}
+
+var _ Object = Counter{}
+
+// Name implements Object.
+func (c Counter) Name() string {
+	if c.Bound > 0 {
+		return fmt.Sprintf("counter[0..%d]", c.Bound)
+	}
+	return "counter"
+}
+
+// Init implements Object.
+func (Counter) Init() string { return "0" }
+
+// Apply implements Object.
+func (c Counter) Apply(state string, op Operation) (string, int) {
+	n := atoi(state)
+	switch op.Method {
+	case MethodRead:
+		return state, n
+	case MethodInc:
+		next := n + 1
+		if c.Bound > 0 && next > c.Bound {
+			next = c.Bound
+		}
+		return strconv.Itoa(next), Ack
+	default:
+		panic(fmt.Sprintf("spec: counter does not support %q", op.Method))
+	}
+}
+
+// Ops implements Object.
+func (Counter) Ops(int) []Operation {
+	return []Operation{NewOp(MethodRead), NewOp(MethodInc)}
+}
+
+// FAA is the sequential specification of a fetch-and-add object.
+type FAA struct{}
+
+var _ Object = FAA{}
+
+// Name implements Object.
+func (FAA) Name() string { return "fetch-and-add" }
+
+// Init implements Object.
+func (FAA) Init() string { return "0" }
+
+// Apply implements Object. faa(d) adds d and returns the previous value.
+func (FAA) Apply(state string, op Operation) (string, int) {
+	n := atoi(state)
+	switch op.Method {
+	case MethodRead:
+		return state, n
+	case MethodFAA:
+		return strconv.Itoa(n + op.Args[0]), n
+	default:
+		panic(fmt.Sprintf("spec: faa does not support %q", op.Method))
+	}
+}
+
+// Ops implements Object.
+func (FAA) Ops(int) []Operation {
+	return []Operation{NewOp(MethodRead), NewOp(MethodFAA, 1)}
+}
+
+// Queue is the sequential specification of a FIFO queue of integers,
+// initially empty. State encoding: comma-separated values, oldest first.
+type Queue struct{}
+
+var _ Object = Queue{}
+
+// Name implements Object.
+func (Queue) Name() string { return "queue" }
+
+// Init implements Object.
+func (Queue) Init() string { return "" }
+
+// Apply implements Object. enq(v) appends and returns Ack; deq() removes
+// and returns the head, or Empty if the queue is empty.
+func (Queue) Apply(state string, op Operation) (string, int) {
+	switch op.Method {
+	case MethodEnq:
+		if state == "" {
+			return strconv.Itoa(op.Args[0]), Ack
+		}
+		return state + "," + strconv.Itoa(op.Args[0]), Ack
+	case MethodDeq:
+		if state == "" {
+			return state, Empty
+		}
+		head, rest, found := strings.Cut(state, ",")
+		if !found {
+			rest = ""
+		}
+		return rest, atoi(head)
+	default:
+		panic(fmt.Sprintf("spec: queue does not support %q", op.Method))
+	}
+}
+
+// Ops implements Object. Enqueued values start at 1 so that Empty (-1) and
+// values never collide with Ack in searches.
+func (Queue) Ops(domain int) []Operation {
+	ops := []Operation{NewOp(MethodDeq)}
+	for v := 1; v <= domain; v++ {
+		ops = append(ops, NewOp(MethodEnq, v))
+	}
+	return ops
+}
+
+// MaxRegister is the sequential specification of a max register: read()
+// returns the largest value ever written via writemax(v). Lemma 4 of the
+// paper proves it is not doubly-perturbing.
+type MaxRegister struct{}
+
+var _ Object = MaxRegister{}
+
+// Name implements Object.
+func (MaxRegister) Name() string { return "max-register" }
+
+// Init implements Object.
+func (MaxRegister) Init() string { return "0" }
+
+// Apply implements Object.
+func (MaxRegister) Apply(state string, op Operation) (string, int) {
+	n := atoi(state)
+	switch op.Method {
+	case MethodRead:
+		return state, n
+	case MethodWriteMax:
+		if op.Args[0] > n {
+			return strconv.Itoa(op.Args[0]), Ack
+		}
+		return state, Ack
+	default:
+		panic(fmt.Sprintf("spec: max-register does not support %q", op.Method))
+	}
+}
+
+// Ops implements Object.
+func (MaxRegister) Ops(domain int) []Operation {
+	ops := []Operation{NewOp(MethodRead)}
+	for v := 0; v < domain; v++ {
+		ops = append(ops, NewOp(MethodWriteMax, v))
+	}
+	return ops
+}
+
+func atoi(s string) int {
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		panic(fmt.Sprintf("spec: bad state encoding %q: %v", s, err))
+	}
+	return n
+}

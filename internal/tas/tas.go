@@ -1,0 +1,96 @@
+// Package tas implements a detectable resettable test-and-set object,
+// composed from the paper's bounded-space detectable CAS (Algorithm 2).
+//
+// Attiya et al. proved that every lock-free detectable test-and-set built
+// from non-recoverable test-and-set objects must use unbounded space — one
+// of the results motivating the paper's question whether unbounded space is
+// inherent. Composing over the bounded-space detectable CAS instead yields
+// a bounded-space detectable TAS: the CAS's flip vector provides the
+// detection, and its Θ(N) extra bits are the entire overhead.
+//
+// TestAndSet and Reset return detectable outcomes: a false Linearized
+// verdict guarantees the operation took no effect and may be re-invoked.
+package tas
+
+import (
+	"detectable/internal/nvm"
+	"detectable/internal/rcas"
+	"detectable/internal/runtime"
+	"detectable/internal/spec"
+)
+
+// TAS is an N-process detectable resettable test-and-set object.
+type TAS struct {
+	sys *runtime.System
+	cas *rcas.CAS[int]
+}
+
+// New allocates a cleared TAS object in sys's memory space.
+func New(sys *runtime.System) *TAS {
+	return &TAS{sys: sys, cas: rcas.NewInt(sys, 0)}
+}
+
+// TestAndSet attempts to win the bit as process pid. A linearized outcome
+// carries the previous bit: 0 means pid won, 1 means the bit was already
+// set.
+func (t *TAS) TestAndSet(pid int, plans ...nvm.CrashPlan) runtime.Outcome[int] {
+	return runtime.Execute(t.sys, pid, t.TestAndSetOp(pid), plans...)
+}
+
+// Reset clears the bit as process pid.
+func (t *TAS) Reset(pid int, plans ...nvm.CrashPlan) runtime.Outcome[int] {
+	return runtime.Execute(t.sys, pid, t.ResetOp(pid), plans...)
+}
+
+// TestAndSetOp builds the recoverable TestAndSet instance for pid. It is a
+// single detectable CAS(0, 1): success means the previous bit was 0 (won);
+// a CAS that fails because the value differs means the bit was already 1.
+func (t *TAS) TestAndSetOp(pid int) runtime.Op[int] {
+	inner := t.cas.CasOp(pid, 0, 1)
+	return runtime.Op[int]{
+		Desc:     spec.NewOp(spec.MethodTAS),
+		Announce: inner.Announce,
+		Body: func(ctx *nvm.Ctx) int {
+			if inner.Body(ctx) {
+				return 0 // won: previous bit was 0
+			}
+			return 1 // lost: bit already set
+		},
+		Recover: func(ctx *nvm.Ctx) (int, bool) {
+			res, ok := inner.Recover(ctx)
+			if !ok {
+				return 0, false
+			}
+			if res {
+				return 0, true
+			}
+			return 1, true
+		},
+		Encode: runtime.EncodeInt,
+	}
+}
+
+// ResetOp builds the recoverable Reset instance for pid: a detectable
+// CAS(1, 0). A CAS that loses because the bit is already 0 still counts as
+// a completed reset (the bit is clear).
+func (t *TAS) ResetOp(pid int) runtime.Op[int] {
+	inner := t.cas.CasOp(pid, 1, 0)
+	return runtime.Op[int]{
+		Desc:     spec.NewOp(spec.MethodReset),
+		Announce: inner.Announce,
+		Body: func(ctx *nvm.Ctx) int {
+			inner.Body(ctx)
+			return spec.Ack
+		},
+		Recover: func(ctx *nvm.Ctx) (int, bool) {
+			if _, ok := inner.Recover(ctx); !ok {
+				return 0, false
+			}
+			return spec.Ack, true
+		},
+		Encode: runtime.EncodeInt,
+	}
+}
+
+// Peek returns the current bit without a Ctx, for tests.
+func (t *TAS) Peek() int { return t.cas.PeekPair().Val }

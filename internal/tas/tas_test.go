@@ -1,0 +1,186 @@
+package tas
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"detectable/internal/linearize"
+	"detectable/internal/nvm"
+	"detectable/internal/runtime"
+	"detectable/internal/spec"
+)
+
+func checkDL(t *testing.T, sys *runtime.System) {
+	t.Helper()
+	ok, _, err := linearize.CheckLog(spec.TAS{}, sys.Log())
+	if err != nil {
+		t.Fatalf("collect: %v", err)
+	}
+	if !ok {
+		t.Fatalf("history not durably linearizable:\n%s", sys.Log())
+	}
+}
+
+func TestTestAndSetSequential(t *testing.T) {
+	sys := runtime.NewSystem(2)
+	o := New(sys)
+	if out := o.TestAndSet(0); out.Resp != 0 {
+		t.Fatalf("first tas = %d, want 0 (won)", out.Resp)
+	}
+	if out := o.TestAndSet(1); out.Resp != 1 {
+		t.Fatalf("second tas = %d, want 1 (lost)", out.Resp)
+	}
+	if out := o.Reset(0); !out.Status.Linearized() {
+		t.Fatalf("reset outcome %+v", out)
+	}
+	if out := o.TestAndSet(1); out.Resp != 0 {
+		t.Fatalf("tas after reset = %d, want 0", out.Resp)
+	}
+	checkDL(t, sys)
+}
+
+func TestOnlyOneWinner(t *testing.T) {
+	const procs = 4
+	sys := runtime.NewSystem(procs)
+	o := New(sys)
+	var wg sync.WaitGroup
+	wins := make([]int, procs)
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			if out := o.TestAndSet(pid); out.Status.Linearized() && out.Resp == 0 {
+				wins[pid] = 1
+			}
+		}(p)
+	}
+	wg.Wait()
+	total := 0
+	for _, w := range wins {
+		total += w
+	}
+	if total != 1 {
+		t.Fatalf("%d winners, want exactly 1", total)
+	}
+	checkDL(t, sys)
+}
+
+func TestCrashVerdicts(t *testing.T) {
+	sys := runtime.NewSystem(2)
+	o := New(sys)
+	// Crash before the underlying CAS primitive (step 7): fail, bit clear.
+	out := o.TestAndSet(0, nvm.CrashAtStep(7))
+	if out.Status != runtime.StatusFailed {
+		t.Fatalf("status %v, want failed", out.Status)
+	}
+	if o.Peek() != 0 {
+		t.Fatal("bit set by failed tas")
+	}
+	// Crash after the CAS primitive (step 8): recovered win.
+	out = o.TestAndSet(0, nvm.CrashAtStep(8))
+	if out.Status != runtime.StatusRecovered || out.Resp != 0 {
+		t.Fatalf("outcome %+v, want recovered win", out)
+	}
+	if o.Peek() != 1 {
+		t.Fatal("bit not set by recovered tas")
+	}
+	// Reset with a crash after its CAS: recovered, bit clear.
+	out = o.Reset(1, nvm.CrashAtStep(8))
+	if out.Status != runtime.StatusRecovered {
+		t.Fatalf("reset outcome %+v", out)
+	}
+	if o.Peek() != 0 {
+		t.Fatal("bit still set after recovered reset")
+	}
+	checkDL(t, sys)
+}
+
+// TestMutexDiscipline uses TAS as a crash-prone spin lock: every winner
+// resets before the next winner can take it, and the counter protected by
+// the lock sees no lost updates even with crash injections.
+func TestMutexDiscipline(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	sys := runtime.NewSystem(1)
+	o := New(sys)
+	shared := 0
+	const rounds = 30
+	for i := 0; i < rounds; i++ {
+		// Acquire (retry on fail or lost).
+		for {
+			var plans []nvm.CrashPlan
+			if rng.Intn(3) == 0 {
+				plans = append(plans, nvm.CrashAtStep(uint64(1+rng.Intn(9))))
+			}
+			out := o.TestAndSet(0, plans...)
+			if out.Status.Linearized() && out.Resp == 0 {
+				break
+			}
+			if out.Status.Linearized() && out.Resp == 1 {
+				t.Fatal("lock already held in single-process run")
+			}
+		}
+		shared++
+		// Release (retry on fail).
+		for {
+			var plans []nvm.CrashPlan
+			if rng.Intn(3) == 0 {
+				plans = append(plans, nvm.CrashAtStep(uint64(1+rng.Intn(9))))
+			}
+			if out := o.Reset(0, plans...); out.Status.Linearized() {
+				break
+			}
+		}
+	}
+	if shared != rounds {
+		t.Fatalf("critical sections = %d, want %d", shared, rounds)
+	}
+	if o.Peek() != 0 {
+		t.Fatal("lock left held")
+	}
+}
+
+func TestConcurrentStressWithStorms(t *testing.T) {
+	const procs = 3
+	for round := 0; round < 5; round++ {
+		sys := runtime.NewSystem(procs)
+		o := New(sys)
+		stop := make(chan struct{})
+		var storm sync.WaitGroup
+		storm.Add(1)
+		go func() {
+			defer storm.Done()
+			i := 0
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				i++
+				if i%1000 == 0 {
+					sys.Crash()
+				}
+			}
+		}()
+		var wg sync.WaitGroup
+		for p := 0; p < procs; p++ {
+			wg.Add(1)
+			go func(pid int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(round*31 + pid)))
+				for i := 0; i < 5; i++ {
+					if rng.Intn(2) == 0 {
+						o.TestAndSet(pid)
+					} else {
+						o.Reset(pid)
+					}
+				}
+			}(p)
+		}
+		wg.Wait()
+		close(stop)
+		storm.Wait()
+		checkDL(t, sys)
+	}
+}

@@ -1,0 +1,86 @@
+package detectable
+
+import (
+	"fmt"
+
+	"detectable/internal/history"
+	"detectable/internal/linearize"
+	"detectable/internal/spec"
+)
+
+// ObjectKind names a sequential specification for history verification.
+type ObjectKind int
+
+// Verifiable object kinds.
+const (
+	KindRegister ObjectKind = iota + 1
+	KindCAS
+	KindMaxRegister
+	KindQueue
+	KindCounter
+)
+
+func (k ObjectKind) spec(init int) (spec.Object, error) {
+	switch k {
+	case KindRegister:
+		return spec.Register{InitVal: init}, nil
+	case KindCAS:
+		return spec.CAS{InitVal: init}, nil
+	case KindMaxRegister:
+		return spec.MaxRegister{}, nil
+	case KindQueue:
+		return spec.Queue{}, nil
+	case KindCounter:
+		return spec.Counter{}, nil
+	default:
+		return nil, fmt.Errorf("detectable: unknown object kind %d", k)
+	}
+}
+
+// VerifyReport summarizes a history verification.
+type VerifyReport struct {
+	// DurablyLinearizable reports whether the recorded history admits a
+	// legal linearization under the detectability accounting: completed
+	// and recovered operations included with their responses, failed
+	// operations excluded.
+	DurablyLinearizable bool
+	// Completed, Recovered, Failed and Pending count operation fates.
+	Completed, Recovered, Failed, Pending int
+	// Crashes counts system-wide crash events.
+	Crashes int
+}
+
+// Verify checks the system's entire recorded history against the
+// sequential specification of kind (with initial value init where that is
+// meaningful). It is intended for tests and demos: keep histories under ~60
+// operations per system, or verification cost explodes.
+//
+// A system records one global history, so Verify is only meaningful when
+// the system hosted a single object.
+func (s *System) Verify(kind ObjectKind, init int) (VerifyReport, error) {
+	obj, err := kind.spec(init)
+	if err != nil {
+		return VerifyReport{}, err
+	}
+	ok, rep, err := linearize.CheckLog(obj, s.inner.Log())
+	if err != nil {
+		return VerifyReport{}, err
+	}
+	return VerifyReport{
+		DurablyLinearizable: ok,
+		Completed:           rep.Completed,
+		Recovered:           rep.Recovered,
+		Failed:              rep.Failed,
+		Pending:             rep.Pending,
+		Crashes:             rep.Crashes,
+	}, nil
+}
+
+// History returns the recorded events rendered one per line, for demos and
+// debugging.
+func (s *System) History() string { return s.inner.Log().String() }
+
+// HistoryLen returns the number of recorded events.
+func (s *System) HistoryLen() int { return s.inner.Log().Len() }
+
+var _ = history.Event{} // keep the dependency explicit for godoc cross-links
