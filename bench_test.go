@@ -20,8 +20,66 @@ import (
 	"detectable/internal/rcas"
 	"detectable/internal/runtime"
 	"detectable/internal/rw"
+	"detectable/internal/shardkv"
 	"detectable/internal/spec"
 )
+
+// --- Sharded KV store: throughput scaling with shard count ---
+
+// BenchmarkShardKV sweeps the shard count under a fixed set of concurrent
+// processes hammering a shared key space (3:1 put:get). With one shard all
+// processes contend on a single system's space; more shards split the keys
+// across independent NVM spaces, so throughput should rise with the count.
+func BenchmarkShardKV(b *testing.B) {
+	const procs = 8
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			s := shardkv.New(shards, procs)
+			keys := make([]string, 64)
+			for i := range keys {
+				keys[i] = fmt.Sprintf("key-%d", i)
+				s.PutRetry(0, keys[i], 0) // pre-create the registers
+			}
+			var wg sync.WaitGroup
+			each := b.N/procs + 1
+			b.ResetTimer()
+			for p := 0; p < procs; p++ {
+				wg.Add(1)
+				go func(pid int) {
+					defer wg.Done()
+					for i := 0; i < each; i++ {
+						k := keys[(i*7+pid*13)%len(keys)]
+						if i%4 == 0 {
+							s.GetRetry(pid, k)
+						} else {
+							s.PutRetry(pid, k, i)
+						}
+					}
+				}(p)
+			}
+			wg.Wait()
+		})
+	}
+}
+
+// BenchmarkShardKVMultiPut measures the batched write path: one process
+// putting 64-entry batches grouped across the shards.
+func BenchmarkShardKVMultiPut(b *testing.B) {
+	for _, shards := range []int{1, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			s := shardkv.New(shards, 1)
+			entries := make([]shardkv.KV, 64)
+			for i := range entries {
+				entries[i] = shardkv.KV{Key: fmt.Sprintf("key-%d", i), Val: i}
+			}
+			s.MultiPutRetry(0, entries)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.MultiPutRetry(0, entries)
+			}
+		})
+	}
+}
 
 // --- E9: time overhead of detectability (CAS family) ---
 

@@ -1,0 +1,212 @@
+// Command loadgen drives a configurable workload against the sharded
+// detectable key-value store (internal/shardkv) and reports aggregate and
+// per-shard throughput.
+//
+// Each process owns a disjoint slice of the key space and tracks, in
+// volatile memory, the value every one of its keys must hold given the
+// detectable verdict of each operation: a linearized put/del updates the
+// expectation, a definite fail leaves it unchanged. Reads and a final sweep
+// compare the store against the expectation, so any lost or duplicated
+// effect — a detectability violation — is counted and fails the run. The
+// crash-storm mix additionally fails random single shards from a storm
+// goroutine and injects planned crashes into individual operations; the run
+// still must end with zero violations: every crashed operation resolves to
+// a definite outcome.
+//
+// Usage:
+//
+//	loadgen [-mix read-heavy|write-heavy|mixed|crash-storm] [-procs 4]
+//	        [-shards 4] [-keys 64] [-dur 1s] [-seed 1] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"detectable/internal/nvm"
+	"detectable/internal/runtime"
+	"detectable/internal/shardkv"
+)
+
+// mixSpec is a workload mix as cumulative percentages plus crash knobs.
+type mixSpec struct {
+	getPct, putPct int // remainder is del
+	// planEvery injects a planned crash into roughly one in planEvery
+	// operations (0 = never); stormEvery crashes one random shard on that
+	// period (0 = no storm), time-based so the crash rate is comparable
+	// across machines.
+	planEvery  int
+	stormEvery time.Duration
+}
+
+var mixes = map[string]mixSpec{
+	"read-heavy":  {getPct: 90, putPct: 10},
+	"write-heavy": {getPct: 10, putPct: 80},
+	"mixed":       {getPct: 50, putPct: 40},
+	"crash-storm": {getPct: 40, putPct: 50, planEvery: 8, stormEvery: time.Millisecond},
+}
+
+func main() {
+	mix := flag.String("mix", "mixed", "workload mix: read-heavy, write-heavy, mixed or crash-storm")
+	procs := flag.Int("procs", 4, "concurrent processes (per shard system)")
+	shards := flag.Int("shards", 4, "number of independent shards")
+	keys := flag.Int("keys", 64, "total key-space size (split across processes)")
+	dur := flag.Duration("dur", time.Second, "run duration")
+	seed := flag.Int64("seed", 1, "randomness seed")
+	verbose := flag.Bool("v", false, "print the per-shard breakdown")
+	flag.Parse()
+	if err := run(*mix, *procs, *shards, *keys, *dur, *seed, *verbose); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(mix string, procs, shards, keys int, dur time.Duration, seed int64, verbose bool) error {
+	spec, ok := mixes[mix]
+	if !ok {
+		return fmt.Errorf("unknown mix %q (want read-heavy, write-heavy, mixed or crash-storm)", mix)
+	}
+	if procs < 1 || shards < 1 || keys < procs {
+		return fmt.Errorf("need procs ≥ 1, shards ≥ 1 and keys ≥ procs (got procs=%d shards=%d keys=%d)", procs, shards, keys)
+	}
+
+	s := shardkv.New(shards, procs)
+	var violations, indefinite atomic.Uint64
+
+	// Per-shard crash storm: fail one random shard at a time; the others
+	// keep serving.
+	stop := make(chan struct{})
+	var storm sync.WaitGroup
+	if spec.stormEvery > 0 {
+		storm.Add(1)
+		go func() {
+			defer storm.Done()
+			rng := rand.New(rand.NewSource(seed ^ 0x5707))
+			tick := time.NewTicker(spec.stormEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-tick.C:
+					s.CrashShard(rng.Intn(shards))
+				}
+			}
+		}()
+	}
+
+	expected := make([]map[string]int, procs)
+	start := time.Now()
+	deadline := start.Add(dur)
+	var wg sync.WaitGroup
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(pid)*1001))
+			own := ownKeys(pid, procs, keys)
+			exp := make(map[string]int)
+			for i := 0; time.Now().Before(deadline); i++ {
+				key := own[rng.Intn(len(own))]
+				var plan nvm.CrashPlan
+				if spec.planEvery > 0 && rng.Intn(spec.planEvery) == 0 {
+					plan = nvm.CrashAtStep(uint64(1 + rng.Intn(14)))
+				}
+				switch r := rng.Intn(100); {
+				case r < spec.getPct:
+					out := s.Get(pid, key, plan)
+					if out.Status.Linearized() && out.Resp != exp[key] {
+						violations.Add(1)
+					}
+				case r < spec.getPct+spec.putPct:
+					val := pid*1_000_000 + i
+					apply(s.Put(pid, key, val, plan), key, val, exp, &violations, &indefinite)
+				default:
+					apply(s.Del(pid, key, plan), key, 0, exp, &violations, &indefinite)
+				}
+			}
+			expected[pid] = exp
+		}(p)
+	}
+	wg.Wait()
+	// Snapshot throughput over the measured window only; the verification
+	// sweep below is bookkeeping, not serving.
+	elapsed := time.Since(start)
+	snaps := make([]shardkv.StatsSnapshot, shards)
+	for i := range snaps {
+		snaps[i] = s.StatsFor(i)
+	}
+	close(stop)
+	storm.Wait()
+
+	// Final sweep: the store must match every owner's expectation exactly.
+	for pid, exp := range expected {
+		for _, key := range ownKeys(pid, procs, keys) {
+			if got := s.GetRetry(pid, key); got != exp[key] {
+				violations.Add(1)
+			}
+		}
+	}
+
+	report(snaps, mix, procs, elapsed, verbose)
+	if n := indefinite.Load(); n > 0 {
+		return fmt.Errorf("%d operations ended without a definite outcome", n)
+	}
+	if n := violations.Load(); n > 0 {
+		return fmt.Errorf("%d detectability violations (lost or duplicated effects)", n)
+	}
+	fmt.Println("detectability: every operation resolved to a definite outcome, zero violations")
+	return nil
+}
+
+// apply folds one mutation outcome into the owner's expected value for key.
+func apply(out runtime.Outcome[int], key string, val int, exp map[string]int, violations, indefinite *atomic.Uint64) {
+	switch out.Status {
+	case runtime.StatusOK, runtime.StatusRecovered:
+		exp[key] = val
+	case runtime.StatusFailed, runtime.StatusNotInvoked:
+		// Definitely not linearized: the expectation stands.
+	default:
+		indefinite.Add(1)
+	}
+}
+
+// ownKeys returns pid's disjoint slice of the key space.
+func ownKeys(pid, procs, keys int) []string {
+	var own []string
+	for k := pid; k < keys; k += procs {
+		own = append(own, fmt.Sprintf("key-%d", k))
+	}
+	return own
+}
+
+func report(snaps []shardkv.StatsSnapshot, mix string, procs int, elapsed time.Duration, verbose bool) {
+	secs := elapsed.Seconds()
+	if secs == 0 {
+		secs = 1 // a -dur=0 run serves no measured window at all
+	}
+	var total shardkv.StatsSnapshot
+	for _, st := range snaps {
+		total = total.Add(st)
+	}
+	fmt.Printf("mix=%s procs=%d shards=%d elapsed=%s\n", mix, procs, len(snaps), elapsed.Round(time.Millisecond))
+	fmt.Printf("aggregate: %d ops (%.0f ops/sec) — gets=%d puts=%d dels=%d\n",
+		total.Ops(), float64(total.Ops())/secs, total.Gets, total.Puts, total.Dels)
+	fmt.Printf("verdicts:  ok=%d recovered=%d failed=%d not-invoked=%d retries=%d\n",
+		total.OK, total.Recovered, total.Failed, total.NotInvoked, total.Retries)
+	fmt.Printf("crashes:   injected=%d interruptions-observed=%d\n",
+		total.CrashesInjected, total.CrashesSeen)
+	if !verbose {
+		return
+	}
+	fmt.Printf("%6s %10s %12s %10s %8s %8s %8s\n", "shard", "ops", "ops/sec", "recovered", "failed", "crashes", "retries")
+	for i, st := range snaps {
+		fmt.Printf("%6d %10d %12.0f %10d %8d %8d %8d\n",
+			i, st.Ops(), float64(st.Ops())/secs, st.Recovered, st.Failed, st.CrashesInjected, st.Retries)
+	}
+}

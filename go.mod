@@ -1,0 +1,3 @@
+module detectable
+
+go 1.24

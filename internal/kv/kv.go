@@ -47,6 +47,20 @@ func (s *Store) PutRetry(pid int, key string, val int) int {
 	return invocations
 }
 
+// Del removes key as process pid and returns the detectable outcome.
+// Missing keys read as the zero value, so deletion is a detectable write of
+// zero to the key's register: it inherits the register's exactly-once
+// crash-recovery verdict, and a subsequent Get observes the key as absent.
+func (s *Store) Del(pid int, key string, plans ...nvm.CrashPlan) runtime.Outcome[int] {
+	return s.Put(pid, key, 0, plans...)
+}
+
+// DelRetry removes key, re-invoking on fail verdicts until the deletion is
+// linearized (NRL semantics). It returns the number of invocations.
+func (s *Store) DelRetry(pid int, key string) int {
+	return s.PutRetry(pid, key, 0)
+}
+
 // Get reads key as process pid and returns the detectable outcome.
 func (s *Store) Get(pid int, key string, plans ...nvm.CrashPlan) runtime.Outcome[int] {
 	return s.reg(key).Read(pid, plans...)

@@ -1,0 +1,71 @@
+package rcas
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"detectable/internal/nvm"
+	"detectable/internal/runtime"
+)
+
+// TestRaceStress is a short stress run aimed at the race detector:
+// concurrent Cas/Read processes with random crash plans, a crash-storm
+// goroutine and a peeker on the no-Ctx inspection path, all racing.
+func TestRaceStress(t *testing.T) {
+	const procs = 4
+	sys := runtime.NewSystem(procs)
+	o := NewInt(sys, 0)
+
+	stop := make(chan struct{})
+	var aux sync.WaitGroup
+	aux.Add(2)
+	go func() { // crash storm
+		defer aux.Done()
+		i := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if i++; i%800 == 0 {
+				sys.Crash()
+			}
+		}
+	}()
+	go func() { // peeker
+		defer aux.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = o.PeekPair()
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(pid)))
+			for i := 0; i < 300; i++ {
+				var plan nvm.CrashPlan
+				if rng.Intn(5) == 0 {
+					plan = nvm.CrashAtStep(uint64(1 + rng.Intn(10)))
+				}
+				if rng.Intn(3) == 0 {
+					o.Read(pid, plan)
+				} else {
+					o.Cas(pid, rng.Intn(3), rng.Intn(3), plan)
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	close(stop)
+	aux.Wait()
+}

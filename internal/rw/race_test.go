@@ -1,0 +1,73 @@
+package rw
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"detectable/internal/nvm"
+	"detectable/internal/runtime"
+)
+
+// TestRaceStress is a short stress run aimed at the race detector: writer
+// and reader processes with random crash plans, a crash-storm goroutine
+// advancing the epoch, and a peeker hammering the no-Ctx inspection paths
+// — every cross-goroutine access the package exposes, racing at once.
+func TestRaceStress(t *testing.T) {
+	const procs = 4
+	sys := runtime.NewSystem(procs)
+	reg := NewInt(sys, 0)
+
+	stop := make(chan struct{})
+	var aux sync.WaitGroup
+	aux.Add(2)
+	go func() { // crash storm
+		defer aux.Done()
+		i := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if i++; i%800 == 0 {
+				sys.Crash()
+			}
+		}
+	}()
+	go func() { // peeker: no-Ctx reads racing everything else
+		defer aux.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = reg.PeekTriple()
+			_ = reg.PeekToggle(0, 1, 0)
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(pid)))
+			for i := 0; i < 300; i++ {
+				var plan nvm.CrashPlan
+				if rng.Intn(5) == 0 {
+					plan = nvm.CrashAtStep(uint64(1 + rng.Intn(12)))
+				}
+				if rng.Intn(2) == 0 {
+					reg.Write(pid, pid*1000+i, plan)
+				} else {
+					reg.Read(pid, plan)
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	close(stop)
+	aux.Wait()
+}

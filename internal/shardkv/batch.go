@@ -1,0 +1,97 @@
+package shardkv
+
+import (
+	"detectable/internal/nvm"
+	"detectable/internal/runtime"
+)
+
+// KV is one entry of a batched put.
+type KV struct {
+	Key string
+	Val int
+}
+
+// ShardPlans routes deterministic crash plans to individual shards of a
+// batched call: ShardPlans[i] drives the operations the batch executes on
+// shard i, and the other shards run crash-free — the per-shard failure
+// isolation the partitioning buys. A nil map (or a missing entry) means no
+// planned crash for that shard.
+type ShardPlans map[int]nvm.CrashPlan
+
+// MultiGet reads every key as process pid and returns the per-key
+// detectable outcomes, aligned with keys. The batch is grouped by shard:
+// all keys of one shard are served in one contiguous run before the next
+// shard is visited, so a crash plan routed to one shard (or a concurrent
+// CrashShard) interrupts only that group.
+func (s *Store) MultiGet(pid int, keys []string, plans ...ShardPlans) []runtime.Outcome[int] {
+	out := make([]runtime.Outcome[int], len(keys))
+	for sh, idxs := range s.groupKeys(keys) {
+		plan := planFor(plans, sh)
+		shd := s.shards[sh]
+		for _, i := range idxs {
+			out[i] = shd.get(pid, keys[i], plan)
+		}
+	}
+	return out
+}
+
+// MultiPut writes every entry as process pid and returns the per-entry
+// detectable outcomes, aligned with entries. Grouping and crash routing
+// follow MultiGet.
+func (s *Store) MultiPut(pid int, entries []KV, plans ...ShardPlans) []runtime.Outcome[int] {
+	keys := make([]string, len(entries))
+	for i, e := range entries {
+		keys[i] = e.Key
+	}
+	out := make([]runtime.Outcome[int], len(entries))
+	for sh, idxs := range s.groupKeys(keys) {
+		plan := planFor(plans, sh)
+		shd := s.shards[sh]
+		for _, i := range idxs {
+			out[i] = shd.put(pid, entries[i].Key, entries[i].Val, plan)
+		}
+	}
+	return out
+}
+
+// MultiPutRetry writes every entry with NRL always-succeeds semantics and
+// returns the total number of invocations spent (len(entries) when no
+// retry was needed).
+func (s *Store) MultiPutRetry(pid int, entries []KV) int {
+	keys := make([]string, len(entries))
+	for i, e := range entries {
+		keys[i] = e.Key
+	}
+	total := 0
+	for sh, idxs := range s.groupKeys(keys) {
+		shd := s.shards[sh]
+		for _, i := range idxs {
+			total += shd.putRetry(pid, entries[i].Key, entries[i].Val)
+		}
+	}
+	return total
+}
+
+// groupKeys buckets key indices by serving shard, preserving input order
+// within each bucket.
+func (s *Store) groupKeys(keys []string) map[int][]int {
+	groups := make(map[int][]int)
+	for i, k := range keys {
+		sh := s.ShardFor(k)
+		groups[sh] = append(groups[sh], i)
+	}
+	return groups
+}
+
+// planFor resolves the crash plan routed to shard. At most one ShardPlans
+// may be given: unlike the runtime's per-attempt CrashPlan variadic, extra
+// elements have no meaning here, so they are rejected rather than ignored.
+func planFor(plans []ShardPlans, shard int) nvm.CrashPlan {
+	if len(plans) > 1 {
+		panic("shardkv: at most one ShardPlans per batched call")
+	}
+	if len(plans) == 0 || plans[0] == nil {
+		return nil
+	}
+	return plans[0][shard]
+}

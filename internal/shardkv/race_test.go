@@ -1,0 +1,92 @@
+package shardkv
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"detectable/internal/nvm"
+)
+
+// TestRaceStress is a short stress run aimed at the race detector:
+// concurrent processes mixing single-key and batched operations over a
+// shared key space, a storm goroutine crashing random single shards, and a
+// peeker reading stats and values — every cross-goroutine surface of the
+// store, racing at once.
+func TestRaceStress(t *testing.T) {
+	const (
+		procs  = 4
+		shards = 4
+	)
+	s := New(shards, procs)
+	keys := make([]string, 16)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%d", i)
+	}
+
+	stop := make(chan struct{})
+	var aux sync.WaitGroup
+	aux.Add(2)
+	go func() { // per-shard crash storm
+		defer aux.Done()
+		rng := rand.New(rand.NewSource(42))
+		i := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if i++; i%800 == 0 {
+				s.CrashShard(rng.Intn(shards))
+			}
+		}
+	}()
+	go func() { // peeker: stats and values racing the operations
+		defer aux.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = s.TotalStats()
+			_ = s.Peek(keys[0])
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(pid)))
+			for i := 0; i < 150; i++ {
+				key := keys[rng.Intn(len(keys))]
+				var plan nvm.CrashPlan
+				if rng.Intn(6) == 0 {
+					plan = nvm.CrashAtStep(uint64(1 + rng.Intn(12)))
+				}
+				switch rng.Intn(5) {
+				case 0:
+					s.Get(pid, key, plan)
+				case 1:
+					s.Del(pid, key, plan)
+				case 2:
+					s.MultiPut(pid, []KV{
+						{Key: keys[rng.Intn(len(keys))], Val: i},
+						{Key: keys[rng.Intn(len(keys))], Val: i + 1},
+					})
+				case 3:
+					s.MultiGet(pid, keys[:4])
+				default:
+					s.Put(pid, key, pid*1000+i, plan)
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	close(stop)
+	aux.Wait()
+}

@@ -1,0 +1,232 @@
+// Package shardkv composes the paper's single-object detectable primitives
+// into a hash-partitioned key-value store: S independent shards, each backed
+// by its own runtime.System (and therefore its own simulated NVM space,
+// failure epoch and history log) and an internal/kv store built from the
+// bounded-space detectable registers of Algorithm 1.
+//
+// The partitioning move mirrors how disaggregated-memory systems scale a
+// shared substrate across endpoints: because shards share no memory cells,
+// no epoch and no statistics, operations on keys of different shards
+// proceed with zero cross-shard contention, while each individual key keeps
+// the per-object detectability contract — a caller that crashed mid-write
+// learns definitively whether its operation was linearized and can retry
+// exactly once.
+//
+// Crashes are per shard: CrashShard fails a single shard's system-wide
+// epoch (interrupting only the operations routed there — the other shards
+// keep serving), while Crash storms every shard. Per-shard Stats record
+// operations, verdicts, crash interruptions and recoveries.
+package shardkv
+
+import (
+	"sort"
+
+	"detectable/internal/kv"
+	"detectable/internal/nvm"
+	"detectable/internal/runtime"
+)
+
+// shard is one independent failure domain: a private system plus the
+// detectable kv store allocated in it.
+type shard struct {
+	sys   *runtime.System
+	store *kv.Store
+	stats Stats
+}
+
+// get/put/del run one detectable operation on this shard and record it.
+// The batched API calls these directly with the already-resolved shard, so
+// keys are hashed once per batch entry.
+func (sh *shard) get(pid int, key string, plans ...nvm.CrashPlan) runtime.Outcome[int] {
+	out := sh.store.Get(pid, key, plans...)
+	sh.stats.note(opGet, outcomeOf(out.Status), out.Crashes)
+	return out
+}
+
+func (sh *shard) put(pid int, key string, val int, plans ...nvm.CrashPlan) runtime.Outcome[int] {
+	out := sh.store.Put(pid, key, val, plans...)
+	sh.stats.note(opPut, outcomeOf(out.Status), out.Crashes)
+	return out
+}
+
+func (sh *shard) del(pid int, key string, plans ...nvm.CrashPlan) runtime.Outcome[int] {
+	out := sh.store.Del(pid, key, plans...)
+	sh.stats.note(opDel, outcomeOf(out.Status), out.Crashes)
+	return out
+}
+
+// putRetry re-invokes put until it linearizes (NRL semantics: a fresh
+// invocation per fail verdict), recording every attempt, and returns the
+// number of invocations.
+func (sh *shard) putRetry(pid int, key string, val int) int {
+	for n := 1; ; n++ {
+		if sh.put(pid, key, val).Status.Linearized() {
+			sh.stats.noteRetries(n)
+			return n
+		}
+	}
+}
+
+// delRetry is putRetry for deletions, so attempts are recorded as dels.
+func (sh *shard) delRetry(pid int, key string) int {
+	for n := 1; ; n++ {
+		if sh.del(pid, key).Status.Linearized() {
+			sh.stats.noteRetries(n)
+			return n
+		}
+	}
+}
+
+// Store is a hash-partitioned detectable key-value store over S shards,
+// each serving up to procs processes. Distinct processes may operate
+// concurrently on any mix of shards; a single process must not run two
+// operations concurrently (the usual per-process rule of the model).
+type Store struct {
+	shards []*shard
+	procs  int
+}
+
+// New allocates a store of shards independent partitions, each a fresh
+// runtime.System of procs processes under the private-cache model.
+func New(shards, procs int) *Store {
+	return NewModel(shards, procs, nvm.ModelPrivateCache)
+}
+
+// NewModel is New with an explicit memory model for every shard's space.
+func NewModel(shards, procs int, m nvm.Model) *Store {
+	if shards < 1 {
+		panic("shardkv: need at least one shard")
+	}
+	s := &Store{procs: procs}
+	for i := 0; i < shards; i++ {
+		sys := runtime.NewSystemModel(procs, m)
+		s.shards = append(s.shards, &shard{sys: sys, store: kv.New(sys)})
+	}
+	return s
+}
+
+// NumShards returns the number of partitions.
+func (s *Store) NumShards() int { return len(s.shards) }
+
+// Procs returns the per-shard process count.
+func (s *Store) Procs() int { return s.procs }
+
+// ShardFor returns the index of the shard serving key (FNV-1a of the key
+// modulo the shard count — stable across runs, so tests and the load
+// generator can target a specific shard). Inlined rather than hash/fnv so
+// the routing decision on every operation allocates nothing.
+func (s *Store) ShardFor(key string) int {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint32(key[i])) * prime32
+	}
+	return int(h % uint32(len(s.shards)))
+}
+
+// System returns shard i's runtime system, for tests and tooling.
+func (s *Store) System(i int) *runtime.System { return s.shards[i].sys }
+
+// Put writes key := val as process pid on key's shard and returns the
+// detectable outcome. plans inject deterministic crashes into that shard
+// only.
+func (s *Store) Put(pid int, key string, val int, plans ...nvm.CrashPlan) runtime.Outcome[int] {
+	return s.shards[s.ShardFor(key)].put(pid, key, val, plans...)
+}
+
+// Get reads key as process pid and returns the detectable outcome.
+func (s *Store) Get(pid int, key string, plans ...nvm.CrashPlan) runtime.Outcome[int] {
+	return s.shards[s.ShardFor(key)].get(pid, key, plans...)
+}
+
+// Del removes key as process pid and returns the detectable outcome
+// (missing keys read as zero; see kv.Store.Del).
+func (s *Store) Del(pid int, key string, plans ...nvm.CrashPlan) runtime.Outcome[int] {
+	return s.shards[s.ShardFor(key)].del(pid, key, plans...)
+}
+
+// PutRetry writes key := val, re-invoking on fail verdicts until the write
+// is linearized (NRL semantics). It returns the number of invocations;
+// every invocation is recorded in the shard's stats.
+func (s *Store) PutRetry(pid int, key string, val int) int {
+	return s.shards[s.ShardFor(key)].putRetry(pid, key, val)
+}
+
+// DelRetry removes key with NRL always-succeeds semantics, returning the
+// number of invocations.
+func (s *Store) DelRetry(pid int, key string) int {
+	return s.shards[s.ShardFor(key)].delRetry(pid, key)
+}
+
+// GetRetry reads key, re-invoking until a linearized response is obtained
+// (a read can only miss its verdict when the crash hit during the
+// announcement). It returns the value.
+func (s *Store) GetRetry(pid int, key string) int {
+	sh := s.shards[s.ShardFor(key)]
+	for n := 1; ; n++ {
+		out := sh.get(pid, key)
+		if out.Status.Linearized() {
+			sh.stats.noteRetries(n)
+			return out.Resp
+		}
+	}
+}
+
+// CrashShard injects a system-wide crash-failure into shard i alone: every
+// operation in flight on that shard panics at its next primitive and runs
+// its recovery function, while the other shards keep serving undisturbed.
+func (s *Store) CrashShard(i int) {
+	s.shards[i].sys.Crash()
+	s.shards[i].stats.noteInjected()
+}
+
+// Crash storms every shard: a full-cluster failure.
+func (s *Store) Crash() {
+	for i := range s.shards {
+		s.CrashShard(i)
+	}
+}
+
+// StatsFor returns a snapshot of shard i's counters.
+func (s *Store) StatsFor(i int) StatsSnapshot { return s.shards[i].stats.snapshot() }
+
+// TotalStats returns the sum of all shards' counters.
+func (s *Store) TotalStats() StatsSnapshot {
+	var t StatsSnapshot
+	for i := range s.shards {
+		t = t.Add(s.StatsFor(i))
+	}
+	return t
+}
+
+// Keys returns every key ever written across all shards, sorted.
+func (s *Store) Keys() []string {
+	var out []string
+	for _, sh := range s.shards {
+		out = append(out, sh.store.Keys()...)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Peek returns key's current value without a Ctx, for tests.
+func (s *Store) Peek(key string) int {
+	return s.shards[s.ShardFor(key)].store.Peek(key)
+}
+
+// outcomeOf buckets an execution status for stats accounting.
+func outcomeOf(st runtime.Status) outcome {
+	switch st {
+	case runtime.StatusOK:
+		return outcomeOK
+	case runtime.StatusRecovered:
+		return outcomeRecovered
+	case runtime.StatusFailed:
+		return outcomeFailed
+	default:
+		return outcomeNotInvoked
+	}
+}

@@ -1,0 +1,119 @@
+package shardkv
+
+import "sync/atomic"
+
+// outcome buckets the verdict of one operation execution.
+type outcome int
+
+const (
+	outcomeOK outcome = iota
+	outcomeRecovered
+	outcomeFailed
+	outcomeNotInvoked
+)
+
+// opKind buckets the operation family for stats accounting.
+type opKind int
+
+const (
+	opGet opKind = iota
+	opPut
+	opDel
+)
+
+// Stats aggregates one shard's counters. All methods are safe for
+// concurrent use; the zero value is ready.
+type Stats struct {
+	gets, puts, dels atomic.Uint64
+
+	ok, recovered, failed, notInvoked atomic.Uint64
+
+	// crashesSeen counts crash interruptions observed by operations on this
+	// shard (an operation interrupted twice counts twice); crashesInjected
+	// counts CrashShard calls.
+	crashesSeen     atomic.Uint64
+	crashesInjected atomic.Uint64
+
+	// retries counts extra invocations spent by the *Retry wrappers beyond
+	// the first (the exactly-once re-invocation budget detectability buys).
+	retries atomic.Uint64
+}
+
+func (s *Stats) note(op opKind, oc outcome, crashes int) {
+	switch op {
+	case opGet:
+		s.gets.Add(1)
+	case opPut:
+		s.puts.Add(1)
+	case opDel:
+		s.dels.Add(1)
+	}
+	switch oc {
+	case outcomeOK:
+		s.ok.Add(1)
+	case outcomeRecovered:
+		s.recovered.Add(1)
+	case outcomeFailed:
+		s.failed.Add(1)
+	case outcomeNotInvoked:
+		s.notInvoked.Add(1)
+	}
+	if crashes > 0 {
+		s.crashesSeen.Add(uint64(crashes))
+	}
+}
+
+// noteRetries records one *Retry call that took n invocations. Every
+// invocation was already noted individually (op and verdict); only the
+// n-1 re-invocations beyond the first are counted here.
+func (s *Stats) noteRetries(n int) {
+	if n > 1 {
+		s.retries.Add(uint64(n - 1))
+	}
+}
+
+func (s *Stats) noteInjected() { s.crashesInjected.Add(1) }
+
+// StatsSnapshot is a point-in-time copy of a shard's counters.
+type StatsSnapshot struct {
+	Gets, Puts, Dels uint64
+
+	OK, Recovered, Failed, NotInvoked uint64
+
+	CrashesSeen, CrashesInjected uint64
+	Retries                      uint64
+}
+
+// Ops returns the total operations recorded.
+func (s StatsSnapshot) Ops() uint64 { return s.Gets + s.Puts + s.Dels }
+
+func (s *Stats) snapshot() StatsSnapshot {
+	return StatsSnapshot{
+		Gets:            s.gets.Load(),
+		Puts:            s.puts.Load(),
+		Dels:            s.dels.Load(),
+		OK:              s.ok.Load(),
+		Recovered:       s.recovered.Load(),
+		Failed:          s.failed.Load(),
+		NotInvoked:      s.notInvoked.Load(),
+		CrashesSeen:     s.crashesSeen.Load(),
+		CrashesInjected: s.crashesInjected.Load(),
+		Retries:         s.retries.Load(),
+	}
+}
+
+// Add returns the element-wise sum of two snapshots.
+func (a StatsSnapshot) Add(b StatsSnapshot) StatsSnapshot {
+	return StatsSnapshot{
+		Gets:            a.Gets + b.Gets,
+		Puts:            a.Puts + b.Puts,
+		Dels:            a.Dels + b.Dels,
+		OK:              a.OK + b.OK,
+		Recovered:       a.Recovered + b.Recovered,
+		Failed:          a.Failed + b.Failed,
+		NotInvoked:      a.NotInvoked + b.NotInvoked,
+		CrashesSeen:     a.CrashesSeen + b.CrashesSeen,
+		CrashesInjected: a.CrashesInjected + b.CrashesInjected,
+		Retries:         a.Retries + b.Retries,
+	}
+}

@@ -1,0 +1,42 @@
+package detectable_test
+
+import (
+	"os/exec"
+	"testing"
+)
+
+// TestMainsSmoke builds and runs every cmd/ and examples/ main with fast
+// flags, asserting a zero exit status and non-empty output — so the
+// binaries are exercised by the ordinary test gate instead of rotting
+// untested.
+func TestMainsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke tests spawn the go tool; skipped in -short mode")
+	}
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"quickstart", []string{"run", "./examples/quickstart"}},
+		{"kvstore", []string{"run", "./examples/kvstore"}},
+		{"bankcounter", []string{"run", "./examples/bankcounter"}},
+		{"jobqueue", []string{"run", "./examples/jobqueue"}},
+		{"configspace", []string{"run", "./cmd/configspace", "-maxn", "3"}},
+		{"perturb", []string{"run", "./cmd/perturb", "-domain", "2", "-depth", "4"}},
+		{"spacetable", []string{"run", "./cmd/spacetable"}},
+		{"crashstorm", []string{"run", "./cmd/crashstorm", "-procs", "2", "-rounds", "2", "-ops", "3"}},
+		{"loadgen", []string{"run", "./cmd/loadgen", "-mix", "crash-storm", "-procs", "2", "-shards", "2", "-keys", "8", "-dur", "200ms"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			out, err := exec.Command("go", tc.args...).CombinedOutput()
+			if err != nil {
+				t.Fatalf("go %v failed: %v\n%s", tc.args, err, out)
+			}
+			if len(out) == 0 {
+				t.Fatalf("go %v produced no output", tc.args)
+			}
+		})
+	}
+}
