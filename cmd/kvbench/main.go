@@ -1,0 +1,171 @@
+// Command kvbench is a closed-loop benchmark client for the detectable KV
+// server: for each requested connection count it opens that many sessions,
+// drives one synchronous operation stream per session for the configured
+// duration, and reports aggregate throughput plus p50/p99 operation
+// latency.
+//
+// Usage:
+//
+//	kvbench -addr host:port [-conns 1,4] [-dur 2s] [-keys 512] [-getpct 50]
+//	kvbench -selftest [-shards 4] [-conns 1,4] ...
+//
+// -selftest starts an in-process kvserverd-equivalent on a loopback port
+// and benches that (still over real TCP), so the binary is runnable with
+// no external server — smoke tests use it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"detectable/internal/client"
+	"detectable/internal/server"
+	"detectable/internal/shardkv"
+)
+
+func main() {
+	addr := flag.String("addr", "", "server address (host:port)")
+	selftest := flag.Bool("selftest", false, "start an in-process server on a loopback port and bench it")
+	shards := flag.Int("shards", 4, "shards for the -selftest server")
+	connsFlag := flag.String("conns", "1,4", "comma-separated connection counts to bench")
+	dur := flag.Duration("dur", 2*time.Second, "measured duration per connection count")
+	keys := flag.Int("keys", 512, "key-space size")
+	getPct := flag.Int("getpct", 50, "percentage of operations that are reads")
+	seed := flag.Int64("seed", 1, "randomness seed")
+	flag.Parse()
+	if err := run(*addr, *selftest, *shards, *connsFlag, *dur, *keys, *getPct, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "kvbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, selftest bool, shards int, connsFlag string, dur time.Duration, keys, getPct int, seed int64) error {
+	connCounts, err := parseConns(connsFlag)
+	if err != nil {
+		return err
+	}
+	if (addr == "") == !selftest {
+		return fmt.Errorf("exactly one of -addr and -selftest is required")
+	}
+	if keys < 1 || getPct < 0 || getPct > 100 {
+		return fmt.Errorf("need keys ≥ 1 and 0 ≤ getpct ≤ 100")
+	}
+
+	if selftest {
+		maxConns := 0
+		for _, n := range connCounts {
+			if n > maxConns {
+				maxConns = n
+			}
+		}
+		srv := server.New(shardkv.New(shards, maxConns))
+		if err := srv.Listen("127.0.0.1:0"); err != nil {
+			return err
+		}
+		defer srv.Close()
+		addr = srv.Addr().String()
+		fmt.Printf("selftest server: addr=%s shards=%d procs=%d\n", addr, shards, maxConns)
+	}
+
+	fmt.Printf("target=%s dur=%s keys=%d getpct=%d\n", addr, dur, keys, getPct)
+	for _, n := range connCounts {
+		if err := benchPhase(addr, n, dur, keys, getPct, seed); err != nil {
+			return fmt.Errorf("conns=%d: %w", n, err)
+		}
+	}
+	return nil
+}
+
+// benchPhase runs one closed loop per connection for dur and prints one
+// report line.
+func benchPhase(addr string, conns int, dur time.Duration, keys, getPct int, seed int64) error {
+	clients := make([]*client.Client, conns)
+	for i := range clients {
+		c, err := client.Dial(addr)
+		if err != nil {
+			return fmt.Errorf("dial %d: %w", i, err)
+		}
+		defer c.Close()
+		clients[i] = c
+	}
+
+	lats := make([][]time.Duration, conns) // per-worker, merged after the run
+	errs := make([]error, conns)
+	deadline := time.Now().Add(dur)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i, c := range clients {
+		wg.Add(1)
+		go func(i int, c *client.Client) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(i)*7919))
+			for time.Now().Before(deadline) {
+				key := "bench-" + strconv.Itoa(rng.Intn(keys))
+				opStart := time.Now()
+				var err error
+				if rng.Intn(100) < getPct {
+					_, err = c.Get(key)
+				} else {
+					_, err = c.Put(key, rng.Int())
+				}
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				lats[i] = append(lats[i], time.Since(opStart))
+			}
+		}(i, c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+
+	var all []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	if len(all) == 0 {
+		return fmt.Errorf("no operations completed")
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a] < all[b] })
+	fmt.Printf("conns=%d ops=%d throughput=%.0f ops/sec p50=%s p99=%s max=%s\n",
+		conns, len(all), float64(len(all))/elapsed.Seconds(),
+		percentile(all, 50), percentile(all, 99), all[len(all)-1])
+	return nil
+}
+
+// percentile returns the p-th percentile of sorted latencies.
+func percentile(sorted []time.Duration, p int) time.Duration {
+	i := (len(sorted)*p + 99) / 100
+	if i > 0 {
+		i--
+	}
+	return sorted[i]
+}
+
+// parseConns parses "1,4,16" into connection counts.
+func parseConns(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -conns element %q", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-conns is empty")
+	}
+	return out, nil
+}

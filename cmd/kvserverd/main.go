@@ -1,0 +1,75 @@
+// Command kvserverd serves the sharded detectable key-value store over TCP
+// using the session protocol of internal/server (docs/PROTOCOL.md): each
+// client session leases one process slot of the store's N-process model,
+// and a client that reconnects after a dropped connection can re-issue its
+// in-flight request ID and receive the original detectable verdict.
+//
+// Usage:
+//
+//	kvserverd [-addr :7070] [-shards 4] [-procs 8] [-dur 0] [-v]
+//
+// -dur 0 serves until SIGINT/SIGTERM; a positive duration serves for that
+// long and exits (used by smoke tests). On shutdown the daemon prints the
+// aggregate operation/verdict/crash counters.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"detectable/internal/server"
+	"detectable/internal/shardkv"
+)
+
+func main() {
+	addr := flag.String("addr", ":7070", "TCP listen address")
+	shards := flag.Int("shards", 4, "number of independent shards")
+	procs := flag.Int("procs", 8, "process slots (max concurrent non-observer sessions)")
+	dur := flag.Duration("dur", 0, "serve duration (0 = until SIGINT/SIGTERM)")
+	verbose := flag.Bool("v", false, "print the per-shard breakdown on shutdown")
+	flag.Parse()
+	if err := run(*addr, *shards, *procs, *dur, *verbose); err != nil {
+		fmt.Fprintln(os.Stderr, "kvserverd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, shards, procs int, dur time.Duration, verbose bool) error {
+	if shards < 1 || procs < 1 {
+		return fmt.Errorf("need shards ≥ 1 and procs ≥ 1 (got shards=%d procs=%d)", shards, procs)
+	}
+	store := shardkv.New(shards, procs)
+	srv := server.New(store)
+	if err := srv.Listen(addr); err != nil {
+		return err
+	}
+	fmt.Printf("kvserverd: serving addr=%s shards=%d procs=%d\n", srv.Addr(), shards, procs)
+
+	if dur > 0 {
+		time.Sleep(dur)
+	} else {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		fmt.Println("kvserverd: shutting down")
+	}
+	if err := srv.Close(); err != nil {
+		return err
+	}
+
+	t := store.TotalStats()
+	fmt.Printf("served: %d ops — gets=%d puts=%d dels=%d\n", t.Ops(), t.Gets, t.Puts, t.Dels)
+	fmt.Printf("verdicts: ok=%d recovered=%d failed=%d not-invoked=%d\n", t.OK, t.Recovered, t.Failed, t.NotInvoked)
+	fmt.Printf("crashes: injected=%d interruptions-observed=%d\n", t.CrashesInjected, t.CrashesSeen)
+	if verbose {
+		for i, st := range store.Snapshots() {
+			fmt.Printf("shard %d: ops=%d recovered=%d failed=%d crashes=%d\n",
+				i, st.Ops(), st.Recovered, st.Failed, st.CrashesInjected)
+		}
+	}
+	return nil
+}

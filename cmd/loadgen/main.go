@@ -13,10 +13,21 @@
 // still must end with zero violations: every crashed operation resolves to
 // a definite outcome.
 //
+// With -remote the same workload and the same expected-value verification
+// run against a live kvserverd over TCP instead of the in-process store.
+// The crash-storm mix then additionally injects connection kills: workers
+// randomly sever their own TCP connection (including right after sending a
+// request, so the reply is lost mid-operation) and rely on session
+// resumption to recover the original persisted verdict — the bar is still
+// zero violations. `-remote self` starts an in-process server on a
+// loopback port first, so the full wire path is exercised with no external
+// daemon.
+//
 // Usage:
 //
 //	loadgen [-mix read-heavy|write-heavy|mixed|crash-storm] [-procs 4]
 //	        [-shards 4] [-keys 64] [-dur 1s] [-seed 1] [-v]
+//	        [-remote host:port | -remote self]
 package main
 
 import (
@@ -39,16 +50,20 @@ type mixSpec struct {
 	// planEvery injects a planned crash into roughly one in planEvery
 	// operations (0 = never); stormEvery crashes one random shard on that
 	// period (0 = no storm), time-based so the crash rate is comparable
-	// across machines.
+	// across machines. killEvery severs the worker's own TCP connection on
+	// roughly one in killEvery operations (remote mode only, 0 = never) —
+	// half the kills fire after the request is sent but before the reply
+	// is read, forcing the session-resume path mid-operation.
 	planEvery  int
 	stormEvery time.Duration
+	killEvery  int
 }
 
 var mixes = map[string]mixSpec{
 	"read-heavy":  {getPct: 90, putPct: 10},
 	"write-heavy": {getPct: 10, putPct: 80},
 	"mixed":       {getPct: 50, putPct: 40},
-	"crash-storm": {getPct: 40, putPct: 50, planEvery: 8, stormEvery: time.Millisecond},
+	"crash-storm": {getPct: 40, putPct: 50, planEvery: 8, stormEvery: time.Millisecond, killEvery: 24},
 }
 
 func main() {
@@ -59,8 +74,15 @@ func main() {
 	dur := flag.Duration("dur", time.Second, "run duration")
 	seed := flag.Int64("seed", 1, "randomness seed")
 	verbose := flag.Bool("v", false, "print the per-shard breakdown")
+	remote := flag.String("remote", "", "drive a kvserverd at host:port instead of the in-process store (\"self\" starts one on a loopback port)")
 	flag.Parse()
-	if err := run(*mix, *procs, *shards, *keys, *dur, *seed, *verbose); err != nil {
+	var err error
+	if *remote != "" {
+		err = runRemote(*remote, *mix, *procs, *shards, *keys, *dur, *seed, *verbose)
+	} else {
+		err = run(*mix, *procs, *shards, *keys, *dur, *seed, *verbose)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "loadgen:", err)
 		os.Exit(1)
 	}

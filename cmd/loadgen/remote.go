@@ -1,0 +1,193 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"detectable/internal/client"
+	"detectable/internal/runtime"
+	"detectable/internal/server"
+	"detectable/internal/shardkv"
+)
+
+// runRemote is run over the wire: the same mixes and the same per-process
+// expected-value verification, but every operation travels through a
+// client session to a live kvserverd, and the crash-storm mix additionally
+// severs worker connections so session resumption is exercised under load.
+func runRemote(addr, mix string, procs, shards, keys int, dur time.Duration, seed int64, verbose bool) error {
+	spec, ok := mixes[mix]
+	if !ok {
+		return fmt.Errorf("unknown mix %q (want read-heavy, write-heavy, mixed or crash-storm)", mix)
+	}
+	if procs < 1 || keys < procs {
+		return fmt.Errorf("need procs ≥ 1 and keys ≥ procs (got procs=%d keys=%d)", procs, keys)
+	}
+
+	if addr == "self" {
+		srv := server.New(shardkv.New(shards, procs))
+		if err := srv.Listen("127.0.0.1:0"); err != nil {
+			return err
+		}
+		defer srv.Close()
+		addr = srv.Addr().String()
+		fmt.Printf("self-hosted server: addr=%s shards=%d procs=%d\n", addr, shards, procs)
+	}
+
+	// Observer sessions (no process slot) for stats windows and the storm.
+	statsC, err := client.DialObserver(addr)
+	if err != nil {
+		return fmt.Errorf("dial observer: %w", err)
+	}
+	defer statsC.Close()
+	before, err := statsC.Stats()
+	if err != nil {
+		return fmt.Errorf("stats: %w", err)
+	}
+	numShards := len(before) // the server's real shard count, whatever -shards says
+
+	stop := make(chan struct{})
+	var storm sync.WaitGroup
+	if spec.stormEvery > 0 {
+		stormC, err := client.DialObserver(addr)
+		if err != nil {
+			return fmt.Errorf("dial storm observer: %w", err)
+		}
+		storm.Add(1)
+		go func() {
+			defer storm.Done()
+			defer stormC.Close()
+			rng := rand.New(rand.NewSource(seed ^ 0x5707))
+			tick := time.NewTicker(spec.stormEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-tick.C:
+					if err := stormC.CrashShard(rng.Intn(numShards)); err != nil {
+						return // server gone; workers will report the real error
+					}
+				}
+			}
+		}()
+	}
+
+	var violations, indefinite atomic.Uint64
+	hardErrs := make([]error, procs)
+	clients := make([]*client.Client, procs)
+	for p := range clients {
+		if clients[p], err = client.Dial(addr); err != nil {
+			return fmt.Errorf("dial worker %d: %w", p, err)
+		}
+		defer clients[p].Close()
+	}
+
+	start := time.Now()
+	deadline := start.Add(dur)
+	var wg sync.WaitGroup
+	expected := make([]map[string]int, procs)
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			c := clients[pid]
+			rng := rand.New(rand.NewSource(seed + int64(pid)*1001))
+			own := ownKeys(pid, procs, keys)
+			exp := make(map[string]int)
+			defer func() { expected[pid] = exp }()
+			for i := 0; time.Now().Before(deadline); i++ {
+				key := own[rng.Intn(len(own))]
+				var plan []uint32
+				if spec.planEvery > 0 && rng.Intn(spec.planEvery) == 0 {
+					plan = []uint32{uint32(1 + rng.Intn(14))}
+				}
+				if spec.killEvery > 0 && rng.Intn(spec.killEvery) == 0 {
+					// Half the kills lose the reply of an already-sent
+					// request — the mid-operation case resumption exists for.
+					if rng.Intn(2) == 0 {
+						c.KillAfterNextSend()
+					} else {
+						c.KillConn()
+					}
+				}
+				var (
+					out runtime.Outcome[int]
+					err error
+				)
+				switch r := rng.Intn(100); {
+				case r < spec.getPct:
+					if out, err = c.Get(key, plan...); err == nil {
+						if out.Status.Linearized() && out.Resp != exp[key] {
+							violations.Add(1)
+						}
+					}
+				case r < spec.getPct+spec.putPct:
+					val := pid*1_000_000 + i
+					if out, err = c.Put(key, val, plan...); err == nil {
+						apply(out, key, val, exp, &violations, &indefinite)
+					}
+				default:
+					if out, err = c.Del(key, plan...); err == nil {
+						apply(out, key, 0, exp, &violations, &indefinite)
+					}
+				}
+				if err != nil {
+					hardErrs[pid] = err
+					return
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	// Snapshot the measured window now: the verification sweep below is
+	// bookkeeping, not serving (mirrors the in-process run).
+	elapsed := time.Since(start)
+	after, err := statsC.Stats()
+	if err != nil {
+		return fmt.Errorf("stats: %w", err)
+	}
+	close(stop)
+	storm.Wait()
+
+	for pid, err := range hardErrs {
+		if err != nil {
+			return fmt.Errorf("worker %d: %w", pid, err)
+		}
+	}
+
+	// Final sweep over the wire: the server must match every owner's
+	// expectation exactly, connection kills and shard crashes included.
+	for pid, exp := range expected {
+		for _, key := range ownKeys(pid, procs, keys) {
+			got, err := clients[pid].GetRetry(key)
+			if err != nil {
+				return fmt.Errorf("sweep worker %d: %w", pid, err)
+			}
+			if got != exp[key] {
+				violations.Add(1)
+			}
+		}
+	}
+
+	snaps := make([]shardkv.StatsSnapshot, numShards)
+	var resumes uint64
+	for _, c := range clients {
+		resumes += c.Resumes()
+	}
+	for i := range snaps {
+		snaps[i] = after[i].Sub(before[i])
+	}
+	report(snaps, mix, procs, elapsed, verbose)
+	fmt.Printf("sessions:  workers=%d connection-resumes=%d\n", procs, resumes)
+	if n := indefinite.Load(); n > 0 {
+		return fmt.Errorf("%d operations ended without a definite outcome", n)
+	}
+	if n := violations.Load(); n > 0 {
+		return fmt.Errorf("%d detectability violations (lost or duplicated effects)", n)
+	}
+	fmt.Println("detectability: every operation resolved to a definite outcome across reconnects, zero violations")
+	return nil
+}

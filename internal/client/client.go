@@ -1,0 +1,450 @@
+// Package client is the Go client for the detectable KV server
+// (internal/server). It keeps detectability end-to-end across connection
+// loss: every request carries a session-scoped request ID, and when the
+// connection drops mid-call the client transparently reconnects, resumes
+// its session and re-issues the same request ID — receiving the original
+// persisted verdict if the server already executed the request, or a fresh
+// execution if it never arrived. Either way the operation takes effect at
+// most once and the caller gets a definite detectable outcome.
+//
+// KillConn and KillAfterNextSend are chaos hooks: tests and the load
+// generator use them to sever the TCP connection at the worst moments and
+// assert that resumption preserves exactly-once semantics.
+package client
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"time"
+
+	"detectable/internal/runtime"
+	"detectable/internal/server"
+	"detectable/internal/shardkv"
+)
+
+// WireError is a protocol-level error reply from the server.
+type WireError struct {
+	Code byte
+	Msg  string
+}
+
+// Error implements error.
+func (e *WireError) Error() string {
+	return fmt.Sprintf("server: %s: %s", server.ErrName(e.Code), e.Msg)
+}
+
+// Client is one session against a detectable KV server. A Client is one
+// process of the store's N-process model (observer clients excepted) and
+// is therefore NOT safe for concurrent use: one operation at a time, the
+// per-process rule of the paper.
+type Client struct {
+	addr     string
+	observer bool
+
+	// redial policy for transparent resumption.
+	maxRedials int
+	redialWait time.Duration
+
+	conn net.Conn
+	br   *bufio.Reader
+
+	session uint64
+	pid     int
+	nextID  uint64
+
+	resumes  uint64
+	killNext bool
+}
+
+// Dial opens a new session against addr, leasing one process slot.
+func Dial(addr string) (*Client, error) { return dial(addr, false) }
+
+// DialObserver opens a slot-less observer session: it may only issue
+// CrashShard, Stats and Close. Storm drivers and stats pollers use it so
+// they do not occupy a process identity.
+func DialObserver(addr string) (*Client, error) { return dial(addr, true) }
+
+func dial(addr string, observer bool) (*Client, error) {
+	c := &Client{addr: addr, observer: observer, maxRedials: 8, redialWait: 50 * time.Millisecond}
+	if err := c.connect(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// connect dials and performs the HELLO handshake, opening the session on
+// first use and resuming it afterwards.
+func (c *Client) connect() error {
+	conn, err := net.Dial("tcp", c.addr)
+	if err != nil {
+		return err
+	}
+	var flags byte
+	if c.observer {
+		flags |= server.HelloFlagObserver
+	}
+	br := bufio.NewReader(conn)
+	if err := server.WriteFrame(conn, server.EncodeHello(c.session, flags)); err != nil {
+		conn.Close()
+		return err
+	}
+	payload, err := server.ReadFrame(br)
+	if err != nil {
+		conn.Close()
+		return err
+	}
+	r := server.NewReader(payload)
+	if code := r.U8(); code != server.StatusOK {
+		conn.Close()
+		return &WireError{Code: code, Msg: r.Key()} // error body is u16-length text, same shape as a key
+	}
+	sid := r.U64()
+	pid := int(int32(r.U32()))
+	resumed := r.U8() == 1
+	if r.Err {
+		conn.Close()
+		return fmt.Errorf("client: malformed HELLO reply")
+	}
+	if resumed {
+		c.resumes++
+	}
+	c.session, c.pid = sid, pid
+	c.conn, c.br = conn, br
+	return nil
+}
+
+// SessionID returns the server-assigned session ID.
+func (c *Client) SessionID() uint64 { return c.session }
+
+// PID returns the leased process slot (-1 for observer sessions).
+func (c *Client) PID() int { return c.pid }
+
+// Resumes returns how many times the session was resumed after a lost
+// connection.
+func (c *Client) Resumes() uint64 { return c.resumes }
+
+// KillConn severs the TCP connection immediately. The session survives on
+// the server; the next call transparently reconnects and resumes.
+func (c *Client) KillConn() {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn, c.br = nil, nil
+	}
+}
+
+// KillAfterNextSend arms a one-shot chaos hook: the next request is
+// written in full and the connection is then severed before the reply is
+// read, forcing the resume path to recover the persisted verdict of an
+// operation the server (most likely) executed.
+func (c *Client) KillAfterNextSend() { c.killNext = true }
+
+// checkKey rejects keys the wire's u16 length prefix cannot carry, before
+// an unchecked cast would silently desync the frame.
+func checkKey(key string) error {
+	if len(key) > server.MaxKey {
+		return fmt.Errorf("client: key of %d bytes exceeds the %d-byte wire limit", len(key), server.MaxKey)
+	}
+	return nil
+}
+
+// checkBatch rejects batches the server would refuse or the framing
+// cannot carry.
+func checkBatch(n int) error {
+	if n > server.MaxBatch {
+		return fmt.Errorf("client: batch of %d exceeds the server's %d-entry limit", n, server.MaxBatch)
+	}
+	return nil
+}
+
+// call sends one pre-encoded request and returns the reply payload,
+// transparently reconnecting, resuming the session and re-issuing the
+// same bytes (same request ID) on connection failure.
+func (c *Client) call(req []byte) ([]byte, error) {
+	if len(req) > server.MaxFrame {
+		// Deterministic local failure: redialing cannot shrink the frame.
+		return nil, fmt.Errorf("client: request of %d bytes exceeds the %d-byte frame limit", len(req), server.MaxFrame)
+	}
+	var lastErr error
+	for attempt := 0; attempt <= c.maxRedials; attempt++ {
+		if c.conn == nil {
+			if err := c.connect(); err != nil {
+				if _, ok := err.(*WireError); ok {
+					return nil, err // protocol rejection: retrying cannot help
+				}
+				lastErr = err
+				time.Sleep(c.redialWait)
+				continue
+			}
+		}
+		err := server.WriteFrame(c.conn, req)
+		if err == nil {
+			if c.killNext {
+				c.killNext = false
+				c.conn.Close() // reply is lost; the resume path below recovers it
+			}
+			var payload []byte
+			if payload, err = server.ReadFrame(c.br); err == nil {
+				return payload, nil
+			}
+		}
+		c.KillConn()
+		lastErr = err
+		time.Sleep(c.redialWait)
+	}
+	return nil, fmt.Errorf("client: request not resumable after %d redials: %w", c.maxRedials, lastErr)
+}
+
+// callOutcome runs a single-operation request and decodes its verdict.
+func (c *Client) callOutcome(req []byte) (runtime.Outcome[int], error) {
+	payload, err := c.call(req)
+	if err != nil {
+		return runtime.Outcome[int]{}, err
+	}
+	r := server.NewReader(payload)
+	if code := r.U8(); code != server.StatusOK {
+		return runtime.Outcome[int]{}, &WireError{Code: code, Msg: r.Key()}
+	}
+	out := r.Outcome()
+	if r.Err || r.Rest() != 0 {
+		return runtime.Outcome[int]{}, fmt.Errorf("client: malformed outcome reply")
+	}
+	return out, nil
+}
+
+// id reserves the next request ID.
+func (c *Client) id() uint64 {
+	c.nextID++
+	return c.nextID
+}
+
+// planOf resolves the optional planned-crash step argument.
+func planOf(plan []uint32) uint32 {
+	if len(plan) == 0 {
+		return 0
+	}
+	if len(plan) > 1 {
+		panic("client: at most one planned-crash step per call")
+	}
+	return plan[0]
+}
+
+// Get reads key and returns its detectable outcome. An optional plan step
+// p > 0 makes the server inject one crash before the operation's p-th
+// primitive step (the wire form of nvm.CrashAtStep).
+func (c *Client) Get(key string, plan ...uint32) (runtime.Outcome[int], error) {
+	if err := checkKey(key); err != nil {
+		return runtime.Outcome[int]{}, err
+	}
+	return c.callOutcome(server.EncodeGet(c.id(), planOf(plan), key))
+}
+
+// Put writes key := val and returns its detectable outcome.
+func (c *Client) Put(key string, val int, plan ...uint32) (runtime.Outcome[int], error) {
+	if err := checkKey(key); err != nil {
+		return runtime.Outcome[int]{}, err
+	}
+	return c.callOutcome(server.EncodePut(c.id(), planOf(plan), key, val))
+}
+
+// Del removes key and returns its detectable outcome.
+func (c *Client) Del(key string, plan ...uint32) (runtime.Outcome[int], error) {
+	if err := checkKey(key); err != nil {
+		return runtime.Outcome[int]{}, err
+	}
+	return c.callOutcome(server.EncodeDel(c.id(), planOf(plan), key))
+}
+
+// GetRetry re-invokes Get (fresh request IDs) until the read linearizes,
+// returning the value — the client-side NRL transformation.
+func (c *Client) GetRetry(key string) (int, error) {
+	for {
+		out, err := c.Get(key)
+		if err != nil {
+			return 0, err
+		}
+		if out.Status.Linearized() {
+			return out.Resp, nil
+		}
+	}
+}
+
+// PutRetry re-invokes Put until the write linearizes, returning the number
+// of invocations spent.
+func (c *Client) PutRetry(key string, val int) (int, error) {
+	for n := 1; ; n++ {
+		out, err := c.Put(key, val)
+		if err != nil {
+			return n, err
+		}
+		if out.Status.Linearized() {
+			return n, nil
+		}
+	}
+}
+
+// decodeOutcomes decodes a batched reply.
+func decodeOutcomes(payload []byte) ([]runtime.Outcome[int], error) {
+	r := server.NewReader(payload)
+	if code := r.U8(); code != server.StatusOK {
+		return nil, &WireError{Code: code, Msg: r.Key()}
+	}
+	outs := make([]runtime.Outcome[int], int(r.U16()))
+	for i := range outs {
+		outs[i] = r.Outcome()
+	}
+	if r.Err || r.Rest() != 0 {
+		return nil, fmt.Errorf("client: malformed batch reply")
+	}
+	return outs, nil
+}
+
+// MultiGet reads a batch of keys in one frame; outcomes align with keys.
+func (c *Client) MultiGet(keys []string) ([]runtime.Outcome[int], error) {
+	if err := checkBatch(len(keys)); err != nil {
+		return nil, err
+	}
+	for _, k := range keys {
+		if err := checkKey(k); err != nil {
+			return nil, err
+		}
+	}
+	payload, err := c.call(server.EncodeMGet(c.id(), keys))
+	if err != nil {
+		return nil, err
+	}
+	return decodeOutcomes(payload)
+}
+
+// MultiPut writes a batch of entries in one frame; outcomes align with
+// entries.
+func (c *Client) MultiPut(entries []shardkv.KV) ([]runtime.Outcome[int], error) {
+	if err := checkBatch(len(entries)); err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		if err := checkKey(e.Key); err != nil {
+			return nil, err
+		}
+	}
+	payload, err := c.call(server.EncodeMPut(c.id(), entries))
+	if err != nil {
+		return nil, err
+	}
+	return decodeOutcomes(payload)
+}
+
+// PipelinePut issues one PUT frame per entry back-to-back before reading
+// any reply, then collects the replies in order — at most server.Window
+// entries, the session's outcome-window budget for outstanding requests.
+// On connection loss the unanswered suffix is re-issued after resume, so
+// every entry still gets a definite exactly-once verdict.
+func (c *Client) PipelinePut(entries []shardkv.KV) ([]runtime.Outcome[int], error) {
+	if len(entries) > server.Window {
+		return nil, fmt.Errorf("client: pipeline of %d exceeds the %d-request window", len(entries), server.Window)
+	}
+	reqs := make([][]byte, len(entries))
+	for i, e := range entries {
+		if err := checkKey(e.Key); err != nil {
+			return nil, err
+		}
+		reqs[i] = server.EncodePut(c.id(), 0, e.Key, e.Val)
+	}
+	outs := make([]runtime.Outcome[int], len(entries))
+	done := 0
+	for attempt := 0; attempt <= c.maxRedials; attempt++ {
+		if c.conn == nil {
+			if err := c.connect(); err != nil {
+				if _, ok := err.(*WireError); ok {
+					return nil, err
+				}
+				time.Sleep(c.redialWait)
+				continue
+			}
+		}
+		err := func() error {
+			for _, req := range reqs[done:] {
+				if err := server.WriteFrame(c.conn, req); err != nil {
+					return err
+				}
+			}
+			for done < len(reqs) {
+				payload, err := server.ReadFrame(c.br)
+				if err != nil {
+					return err
+				}
+				r := server.NewReader(payload)
+				if code := r.U8(); code != server.StatusOK {
+					return &WireError{Code: code, Msg: r.Key()}
+				}
+				outs[done] = r.Outcome()
+				done++
+			}
+			return nil
+		}()
+		if err == nil {
+			return outs, nil
+		}
+		if _, ok := err.(*WireError); ok {
+			return nil, err
+		}
+		c.KillConn()
+		time.Sleep(c.redialWait)
+	}
+	return nil, fmt.Errorf("client: pipeline not resumable after %d redials", c.maxRedials)
+}
+
+// CrashShard injects a crash into shard i, or into every shard when i < 0
+// — the over-the-wire form of shardkv.CrashShard / Crash.
+func (c *Client) CrashShard(i int) error {
+	shard := server.CrashAllShards
+	if i >= 0 {
+		shard = uint32(i)
+	}
+	payload, err := c.call(server.EncodeCrash(c.id(), shard))
+	if err != nil {
+		return err
+	}
+	r := server.NewReader(payload)
+	if code := r.U8(); code != server.StatusOK {
+		return &WireError{Code: code, Msg: r.Key()}
+	}
+	return nil
+}
+
+// Stats fetches a point-in-time snapshot of every shard's counters.
+func (c *Client) Stats() ([]shardkv.StatsSnapshot, error) {
+	payload, err := c.call(server.EncodeStats(c.id()))
+	if err != nil {
+		return nil, err
+	}
+	r := server.NewReader(payload)
+	if code := r.U8(); code != server.StatusOK {
+		return nil, &WireError{Code: code, Msg: r.Key()}
+	}
+	snaps := make([]shardkv.StatsSnapshot, int(r.U16()))
+	for i := range snaps {
+		snaps[i] = r.Snapshot()
+	}
+	if r.Err || r.Rest() != 0 {
+		return nil, fmt.Errorf("client: malformed stats reply")
+	}
+	return snaps, nil
+}
+
+// Close ends the session (releasing its process slot server-side) and
+// closes the connection. The session is gone afterwards; the Client must
+// not be reused.
+func (c *Client) Close() error {
+	if c.conn == nil {
+		if err := c.connect(); err != nil {
+			return nil // session unreachable; nothing left to release cleanly
+		}
+	}
+	_, err := c.call(server.EncodeClose(c.id()))
+	c.KillConn()
+	if _, ok := err.(*WireError); err != nil && !ok {
+		return err
+	}
+	return nil
+}

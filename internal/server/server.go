@@ -1,0 +1,451 @@
+// Package server serves the sharded detectable key-value store
+// (internal/shardkv) over TCP, preserving detectability across the network
+// boundary.
+//
+// Each client session leases one process slot of the store's N-process
+// model, so a remote session IS one process of the paper. The wire
+// protocol (wire.go, docs/PROTOCOL.md) is length-prefixed binary frames;
+// each request carries a session-scoped, strictly increasing request ID.
+// The server executes a request once, records the encoded reply in the
+// session's persisted-outcome window, and replays it verbatim when the
+// same request ID is re-issued.
+//
+// That replay rule is the paper's announcement/recovery contract lifted to
+// the session layer: a dropped connection is the crash, and a client that
+// reconnects and re-issues its in-flight request ID receives the original
+// detectable verdict — the operation took effect at most once, and the
+// client learns definitively whether it did.
+package server
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"time"
+
+	"detectable/internal/nvm"
+	"detectable/internal/runtime"
+	"detectable/internal/shardkv"
+)
+
+// DefaultIdleTimeout is how long a detached session (no connection) is
+// retained for resume before it is reaped and its process slot reclaimed.
+// Without reaping, every client that dies without a clean CLOSE would leak
+// a slot forever.
+const DefaultIdleTimeout = 2 * time.Minute
+
+// Server accepts connections and serves sessions over one shardkv.Store.
+type Server struct {
+	store *shardkv.Store
+
+	mu       sync.Mutex
+	ln       net.Listener
+	sessions map[uint64]*session
+	nextSID  uint64
+	idleTTL  time.Duration
+	closed   bool
+	stop     chan struct{}
+	wg       sync.WaitGroup
+}
+
+// New returns a server over store. Call Listen to start serving.
+func New(store *shardkv.Store) *Server {
+	return &Server{
+		store:    store,
+		sessions: make(map[uint64]*session),
+		idleTTL:  DefaultIdleTimeout,
+		stop:     make(chan struct{}),
+	}
+}
+
+// SetIdleTimeout overrides how long detached sessions are retained for
+// resume (0 disables reaping). Call before Listen.
+func (srv *Server) SetIdleTimeout(d time.Duration) { srv.idleTTL = d }
+
+// Store returns the served store, for tests and the daemon's final report.
+func (srv *Server) Store() *shardkv.Store { return srv.store }
+
+// Listen binds addr (e.g. "127.0.0.1:0") and starts the accept loop in the
+// background. The bound address is available from Addr.
+func (srv *Server) Listen(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	srv.mu.Lock()
+	if srv.closed {
+		srv.mu.Unlock()
+		ln.Close()
+		return errors.New("server: already closed")
+	}
+	srv.ln = ln
+	srv.wg.Add(1)
+	srv.mu.Unlock()
+	go srv.acceptLoop(ln)
+	if srv.idleTTL > 0 {
+		srv.wg.Add(1)
+		go srv.reapLoop(srv.idleTTL)
+	}
+	return nil
+}
+
+// reapLoop periodically ends sessions that have been detached longer than
+// ttl, reclaiming their process slots. A session mid-resume cannot be
+// reaped: attaching requires the server lock this loop inspects under.
+func (srv *Server) reapLoop(ttl time.Duration) {
+	defer srv.wg.Done()
+	period := ttl / 4
+	if period < 10*time.Millisecond {
+		period = 10 * time.Millisecond
+	}
+	tick := time.NewTicker(period)
+	defer tick.Stop()
+	for {
+		select {
+		case <-srv.stop:
+			return
+		case <-tick.C:
+		}
+		var expired []*session
+		srv.mu.Lock()
+		now := time.Now()
+		for id, sess := range srv.sessions {
+			sess.mu.Lock()
+			dead := sess.conn == nil && !sess.detachedAt.IsZero() && now.Sub(sess.detachedAt) >= ttl
+			sess.mu.Unlock()
+			if dead {
+				delete(srv.sessions, id)
+				expired = append(expired, sess)
+			}
+		}
+		srv.mu.Unlock()
+		for _, sess := range expired {
+			if !sess.observer {
+				srv.store.ReleaseProc(sess.pid)
+			}
+		}
+	}
+}
+
+// Addr returns the listener's address, or nil before Listen.
+func (srv *Server) Addr() net.Addr {
+	srv.mu.Lock()
+	defer srv.mu.Unlock()
+	if srv.ln == nil {
+		return nil
+	}
+	return srv.ln.Addr()
+}
+
+// Sessions reports the number of live sessions.
+func (srv *Server) Sessions() int {
+	srv.mu.Lock()
+	defer srv.mu.Unlock()
+	return len(srv.sessions)
+}
+
+// Close stops accepting, kicks every attached connection and waits for the
+// handlers to drain. Sessions are discarded; their slots return to the
+// store's pool.
+func (srv *Server) Close() error {
+	srv.mu.Lock()
+	if !srv.closed {
+		close(srv.stop)
+	}
+	srv.closed = true
+	if srv.ln != nil {
+		srv.ln.Close()
+	}
+	sessions := make([]*session, 0, len(srv.sessions))
+	for id, sess := range srv.sessions {
+		sessions = append(sessions, sess)
+		delete(srv.sessions, id)
+	}
+	srv.mu.Unlock()
+	for _, sess := range sessions {
+		sess.mu.Lock()
+		if sess.conn != nil {
+			sess.conn.Close()
+		}
+		sess.mu.Unlock()
+		if !sess.observer {
+			srv.store.ReleaseProc(sess.pid)
+		}
+	}
+	srv.wg.Wait()
+	return nil
+}
+
+func (srv *Server) acceptLoop(ln net.Listener) {
+	defer srv.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // Close closed the listener, or the listener died
+		}
+		srv.mu.Lock()
+		if srv.closed {
+			srv.mu.Unlock()
+			conn.Close()
+			return
+		}
+		srv.wg.Add(1)
+		srv.mu.Unlock()
+		go srv.handleConn(conn)
+	}
+}
+
+// handleConn runs one connection: a HELLO attaching a session, then a
+// serial request loop. Protocol errors drop the connection; the session
+// (and its outcome window) survives for a future resume.
+func (srv *Server) handleConn(conn net.Conn) {
+	defer srv.wg.Done()
+	defer conn.Close()
+
+	payload, err := ReadFrame(conn)
+	if err != nil {
+		return
+	}
+	r := NewReader(payload)
+	if op := r.U8(); op != OpHello {
+		WriteFrame(conn, encodeErr(ErrBadRequest, "first frame must be HELLO"))
+		return
+	}
+	sid, flags := r.U64(), r.U8()
+	if r.Err || r.Rest() != 0 {
+		WriteFrame(conn, encodeErr(ErrBadRequest, "malformed HELLO"))
+		return
+	}
+	sess, gen, reply := srv.attach(conn, sid, flags)
+	if err := WriteFrame(conn, reply); err != nil || sess == nil {
+		return
+	}
+	defer srv.detach(sess, gen)
+
+	for {
+		payload, err := ReadFrame(conn)
+		if err != nil {
+			return
+		}
+		reply, closing, fatal := srv.handle(sess, payload)
+		if err := WriteFrame(conn, reply); err != nil {
+			return
+		}
+		if closing {
+			srv.endSession(sess)
+			return
+		}
+		if fatal {
+			return
+		}
+	}
+}
+
+// attach creates (sid 0) or resumes a session and binds conn to it,
+// kicking any connection previously attached. It returns the session (nil
+// on error), the attach generation and the HELLO reply.
+func (srv *Server) attach(conn net.Conn, sid uint64, flags byte) (*session, uint64, []byte) {
+	srv.mu.Lock()
+	defer srv.mu.Unlock()
+	if srv.closed {
+		return nil, 0, encodeErr(ErrBadRequest, "server shutting down")
+	}
+
+	if sid == 0 {
+		pid := -1
+		observer := flags&HelloFlagObserver != 0
+		if !observer {
+			p, ok := srv.store.AcquireProc()
+			if !ok {
+				return nil, 0, encodeErr(ErrSlotsExhausted, "every process slot is leased")
+			}
+			pid = p
+		}
+		srv.nextSID++
+		sess := &session{
+			id: srv.nextSID, pid: pid, observer: observer,
+			conn: conn, gen: 1, cache: make(map[uint64][]byte),
+		}
+		srv.sessions[sess.id] = sess
+		return sess, 1, encodeHelloOK(sess.id, pid, false)
+	}
+
+	sess, ok := srv.sessions[sid]
+	if !ok {
+		return nil, 0, encodeErr(ErrUnknownSession, "no such session")
+	}
+	sess.mu.Lock()
+	if sess.conn != nil {
+		sess.conn.Close() // kick the stale connection; its handler detaches as a no-op
+	}
+	sess.conn = conn
+	sess.detachedAt = time.Time{}
+	sess.gen++
+	gen := sess.gen
+	sess.mu.Unlock()
+	return sess, gen, encodeHelloOK(sess.id, sess.pid, true)
+}
+
+// detach clears the session's connection if this handler still owns it,
+// starting the idle-reap clock.
+func (srv *Server) detach(sess *session, gen uint64) {
+	sess.mu.Lock()
+	if sess.gen == gen {
+		sess.conn = nil
+		sess.detachedAt = time.Now()
+	}
+	sess.mu.Unlock()
+}
+
+// endSession removes the session and returns its slot. Idempotent under
+// the server lock.
+func (srv *Server) endSession(sess *session) {
+	srv.mu.Lock()
+	_, live := srv.sessions[sess.id]
+	delete(srv.sessions, sess.id)
+	srv.mu.Unlock()
+	if live && !sess.observer {
+		srv.store.ReleaseProc(sess.pid)
+	}
+}
+
+// handle processes one request frame under the session lock. The
+// classify-execute-record sequence is atomic per session, which is what
+// makes a re-issued request ID exactly-once even when a kicked half-dead
+// connection races its replacement over the same ID.
+func (srv *Server) handle(sess *session, payload []byte) (reply []byte, closing, fatal bool) {
+	r := NewReader(payload)
+	op := r.U8()
+	reqID := r.U64()
+	if r.Err || reqID == 0 {
+		return encodeErr(ErrBadRequest, "malformed request header"), false, true
+	}
+
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+
+	if cached, class := sess.classify(reqID); class == idReplay {
+		return cached, false, false
+	} else if class == idStale {
+		return encodeErr(ErrStaleRequest, "request ID fell out of the outcome window"), false, false
+	}
+
+	reply, closing, fatal = srv.execute(sess, op, r)
+	if !fatal && len(reply) > 0 && reply[0] == StatusOK && !closing {
+		sess.record(reqID, reply)
+	}
+	return reply, closing, fatal
+}
+
+// execute decodes the op-specific body and runs it as the session's
+// process. Called with the session lock held.
+func (srv *Server) execute(sess *session, op byte, r *Reader) (reply []byte, closing, fatal bool) {
+	bad := func(msg string) ([]byte, bool, bool) { return encodeErr(ErrBadRequest, msg), false, true }
+	data := func() bool { return !sess.observer } // data ops need a process slot
+
+	switch op {
+	case OpGet, OpDel:
+		plan := r.U32()
+		key := r.Key()
+		if r.Err || r.Rest() != 0 {
+			return bad("malformed GET/DEL")
+		}
+		if !data() {
+			return encodeErr(ErrObserver, "data operation on observer session"), false, false
+		}
+		var out runtime.Outcome[int]
+		if op == OpGet {
+			out = srv.store.Get(sess.pid, key, planOf(plan)...)
+		} else {
+			out = srv.store.Del(sess.pid, key, planOf(plan)...)
+		}
+		return encodeOutcome(out), false, false
+
+	case OpPut:
+		plan := r.U32()
+		key := r.Key()
+		val := int(r.I64())
+		if r.Err || r.Rest() != 0 {
+			return bad("malformed PUT")
+		}
+		if !data() {
+			return encodeErr(ErrObserver, "data operation on observer session"), false, false
+		}
+		return encodeOutcome(srv.store.Put(sess.pid, key, val, planOf(plan)...)), false, false
+
+	case OpMGet:
+		n := int(r.U16())
+		if n > MaxBatch {
+			return bad("MGET batch too large")
+		}
+		keys := make([]string, n)
+		for i := range keys {
+			keys[i] = r.Key()
+		}
+		if r.Err || r.Rest() != 0 {
+			return bad("malformed MGET")
+		}
+		if !data() {
+			return encodeErr(ErrObserver, "data operation on observer session"), false, false
+		}
+		return encodeOutcomes(srv.store.MultiGet(sess.pid, keys)), false, false
+
+	case OpMPut:
+		n := int(r.U16())
+		if n > MaxBatch {
+			return bad("MPUT batch too large")
+		}
+		entries := make([]shardkv.KV, n)
+		for i := range entries {
+			entries[i].Key = r.Key()
+			entries[i].Val = int(r.I64())
+		}
+		if r.Err || r.Rest() != 0 {
+			return bad("malformed MPUT")
+		}
+		if !data() {
+			return encodeErr(ErrObserver, "data operation on observer session"), false, false
+		}
+		return encodeOutcomes(srv.store.MultiPut(sess.pid, entries)), false, false
+
+	case OpCrash:
+		shard := r.U32()
+		if r.Err || r.Rest() != 0 {
+			return bad("malformed CRASH")
+		}
+		if shard == CrashAllShards {
+			srv.store.Crash()
+		} else if int(shard) < srv.store.NumShards() {
+			srv.store.CrashShard(int(shard))
+		} else {
+			return encodeErr(ErrBadRequest, "shard out of range"), false, false
+		}
+		return encodeAck(), false, false
+
+	case OpStats:
+		if r.Err || r.Rest() != 0 {
+			return bad("malformed STATS")
+		}
+		return encodeStatsReply(srv.store.Snapshots()), false, false
+
+	case OpClose:
+		if r.Err || r.Rest() != 0 {
+			return bad("malformed CLOSE")
+		}
+		return encodeAck(), true, false
+
+	default:
+		return bad("unknown opcode")
+	}
+}
+
+// planOf maps the wire's plan field to a crash plan: 0 is none, p > 0
+// injects one system-wide crash before the p-th primitive step of the
+// operation on its shard — the deterministic injection surface of
+// nvm.CrashAtStep, exposed over the wire.
+func planOf(plan uint32) []nvm.CrashPlan {
+	if plan == 0 {
+		return nil
+	}
+	return []nvm.CrashPlan{nvm.CrashAtStep(uint64(plan))}
+}

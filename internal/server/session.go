@@ -1,0 +1,63 @@
+package server
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+// session is the server half of the paper's announcement structure lifted
+// to the connection layer. A session outlives any single TCP connection:
+// the dropped connection plays the role of the crash, and the retained
+// outcome cache plays Ann_p — the persistent record from which a
+// reconnecting client learns whether its interrupted request linearized.
+type session struct {
+	id       uint64
+	pid      int // leased process slot; -1 for observer sessions
+	observer bool
+
+	// mu serializes everything below AND the execution of the session's
+	// requests: a session is one process of the model, and a process runs
+	// one operation at a time. Taking mu across the check-execute-record
+	// sequence is what makes resumed requests exactly-once even when a
+	// kicked half-dead connection races its replacement.
+	mu         sync.Mutex
+	conn       net.Conn  // currently attached connection, nil when detached
+	gen        uint64    // bumped on every attach, so stale handlers detach as no-ops
+	detachedAt time.Time // when conn last became nil; zero while attached
+	maxID      uint64    // highest request ID ever executed
+	cache      map[uint64][]byte // reqID → encoded reply, the persisted-outcome window
+}
+
+// lookup returns the cached reply for reqID and how the ID classifies:
+// replay (cached), fresh (execute it), or stale (older than the window).
+type idClass int
+
+const (
+	idFresh idClass = iota
+	idReplay
+	idStale
+)
+
+// classify must be called with s.mu held.
+func (s *session) classify(reqID uint64) (reply []byte, class idClass) {
+	if reply, ok := s.cache[reqID]; ok {
+		return reply, idReplay
+	}
+	if reqID <= s.maxID {
+		return nil, idStale
+	}
+	return nil, idFresh
+}
+
+// record stores reqID's reply and evicts entries that fell out of the
+// window. Must be called with s.mu held.
+func (s *session) record(reqID uint64, reply []byte) {
+	s.cache[reqID] = reply
+	s.maxID = reqID
+	for id := range s.cache {
+		if id+Window <= reqID {
+			delete(s.cache, id)
+		}
+	}
+}

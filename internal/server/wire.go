@@ -1,0 +1,349 @@
+package server
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"detectable/internal/runtime"
+	"detectable/internal/shardkv"
+)
+
+// Wire format (see docs/PROTOCOL.md for the normative spec):
+//
+//	frame   := u32(len(payload)) payload
+//	request := opcode u64(reqID) body
+//	reply   := status body
+//
+// All integers are big-endian. The client encodes requests and decodes
+// replies with the helpers below; the server does the opposite. Keeping
+// both directions in this one file is what keeps them in sync.
+
+// MaxFrame bounds a frame payload; a longer length prefix is a protocol
+// error and the connection is dropped.
+const MaxFrame = 1 << 20
+
+// Request opcodes.
+const (
+	OpHello byte = 0x01 // open or resume a session; first frame of every connection
+	OpGet   byte = 0x02
+	OpPut   byte = 0x03
+	OpDel   byte = 0x04
+	OpMGet  byte = 0x05
+	OpMPut  byte = 0x06
+	OpCrash byte = 0x07 // inject a shard crash (chaos/testing surface)
+	OpStats byte = 0x08
+	OpClose byte = 0x09 // end the session, releasing its process slot
+)
+
+// Reply status codes. StatusOK prefixes a successful reply body; every
+// other value is an error reply whose body is a u16-length message.
+const (
+	StatusOK          byte = 0x00
+	ErrBadRequest     byte = 0x01 // malformed frame or field (connection-fatal)
+	ErrUnknownSession byte = 0x02 // HELLO named a session the server does not hold
+	ErrStaleRequest   byte = 0x03 // reqID older than the session's outcome window
+	ErrSlotsExhausted byte = 0x04 // every process slot is leased
+	ErrObserver       byte = 0x05 // data operation on an observer session
+)
+
+// HelloFlagObserver requests a session without a process slot: it may only
+// issue CRASH/STATS/CLOSE. Storm drivers and stats pollers use it so they
+// do not occupy one of the store's N process identities.
+const HelloFlagObserver byte = 0x01
+
+// CrashAllShards as the shard field of OpCrash storms every shard.
+const CrashAllShards = ^uint32(0)
+
+// MaxBatch bounds MGET/MPUT entry counts; MaxKey bounds key bytes (the
+// u16 length prefix). The client validates both before encoding, the
+// server when decoding.
+const (
+	MaxBatch = 4096
+	MaxKey   = 1<<16 - 1
+)
+
+// Window is how many completed request outcomes a session retains for
+// replay. A client may have at most Window requests outstanding
+// (pipelining); a resumed request older than the window is ErrStaleRequest.
+const Window = 32
+
+// WriteFrame writes one length-prefixed frame.
+func WriteFrame(w io.Writer, payload []byte) error {
+	if len(payload) > MaxFrame {
+		return fmt.Errorf("wire: frame of %d bytes exceeds MaxFrame", len(payload))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one length-prefixed frame.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("wire: frame of %d bytes exceeds MaxFrame", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
+
+// appendKey appends a u16-length-prefixed key.
+func appendKey(b []byte, key string) []byte {
+	b = binary.BigEndian.AppendUint16(b, uint16(len(key)))
+	return append(b, key...)
+}
+
+// EncodeHello encodes a session-open (session 0) or session-resume request.
+func EncodeHello(session uint64, flags byte) []byte {
+	b := []byte{OpHello}
+	b = binary.BigEndian.AppendUint64(b, session)
+	return append(b, flags)
+}
+
+// EncodeGet / EncodeDel encode single-key reads and deletes; plan > 0
+// injects a server-side planned crash before that primitive step.
+func EncodeGet(reqID uint64, plan uint32, key string) []byte {
+	return encodeKeyed(OpGet, reqID, plan, key)
+}
+
+// EncodeDel encodes a single-key delete.
+func EncodeDel(reqID uint64, plan uint32, key string) []byte {
+	return encodeKeyed(OpDel, reqID, plan, key)
+}
+
+func encodeKeyed(op byte, reqID uint64, plan uint32, key string) []byte {
+	b := []byte{op}
+	b = binary.BigEndian.AppendUint64(b, reqID)
+	b = binary.BigEndian.AppendUint32(b, plan)
+	return appendKey(b, key)
+}
+
+// EncodePut encodes a single-key write.
+func EncodePut(reqID uint64, plan uint32, key string, val int) []byte {
+	b := encodeKeyed(OpPut, reqID, plan, key)
+	return binary.BigEndian.AppendUint64(b, uint64(int64(val)))
+}
+
+// EncodeMGet encodes a batched read.
+func EncodeMGet(reqID uint64, keys []string) []byte {
+	b := []byte{OpMGet}
+	b = binary.BigEndian.AppendUint64(b, reqID)
+	b = binary.BigEndian.AppendUint16(b, uint16(len(keys)))
+	for _, k := range keys {
+		b = appendKey(b, k)
+	}
+	return b
+}
+
+// EncodeMPut encodes a batched write.
+func EncodeMPut(reqID uint64, entries []shardkv.KV) []byte {
+	b := []byte{OpMPut}
+	b = binary.BigEndian.AppendUint64(b, reqID)
+	b = binary.BigEndian.AppendUint16(b, uint16(len(entries)))
+	for _, e := range entries {
+		b = appendKey(b, e.Key)
+		b = binary.BigEndian.AppendUint64(b, uint64(int64(e.Val)))
+	}
+	return b
+}
+
+// EncodeCrash encodes a shard-crash injection (CrashAllShards = storm all).
+func EncodeCrash(reqID uint64, shard uint32) []byte {
+	b := []byte{OpCrash}
+	b = binary.BigEndian.AppendUint64(b, reqID)
+	return binary.BigEndian.AppendUint32(b, shard)
+}
+
+// EncodeStats encodes a per-shard stats request.
+func EncodeStats(reqID uint64) []byte {
+	b := []byte{OpStats}
+	return binary.BigEndian.AppendUint64(b, reqID)
+}
+
+// EncodeClose encodes a session-close request.
+func EncodeClose(reqID uint64) []byte {
+	b := []byte{OpClose}
+	return binary.BigEndian.AppendUint64(b, reqID)
+}
+
+// encodeErr encodes an error reply.
+func encodeErr(code byte, msg string) []byte {
+	b := []byte{code}
+	b = binary.BigEndian.AppendUint16(b, uint16(len(msg)))
+	return append(b, msg...)
+}
+
+// encodeHelloOK encodes a successful HELLO reply: the session ID, the
+// leased pid (observer sessions report pid -1) and whether the session was
+// resumed rather than created.
+func encodeHelloOK(session uint64, pid int, resumed bool) []byte {
+	b := []byte{StatusOK}
+	b = binary.BigEndian.AppendUint64(b, session)
+	b = binary.BigEndian.AppendUint32(b, uint32(int32(pid)))
+	if resumed {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+// appendOutcome appends one detectable outcome: verdict byte (the
+// runtime.Status value), response value, crash-interruption count.
+func appendOutcome(b []byte, out runtime.Outcome[int]) []byte {
+	b = append(b, byte(out.Status))
+	b = binary.BigEndian.AppendUint64(b, uint64(int64(out.Resp)))
+	return binary.BigEndian.AppendUint32(b, uint32(out.Crashes))
+}
+
+// encodeOutcome encodes a single-operation reply.
+func encodeOutcome(out runtime.Outcome[int]) []byte {
+	return appendOutcome([]byte{StatusOK}, out)
+}
+
+// encodeOutcomes encodes a batched reply, aligned with the request.
+func encodeOutcomes(outs []runtime.Outcome[int]) []byte {
+	b := []byte{StatusOK}
+	b = binary.BigEndian.AppendUint16(b, uint16(len(outs)))
+	for _, o := range outs {
+		b = appendOutcome(b, o)
+	}
+	return b
+}
+
+// encodeAck encodes a body-less success reply (CRASH, CLOSE).
+func encodeAck() []byte { return []byte{StatusOK} }
+
+// encodeStatsReply encodes one snapshot per shard.
+func encodeStatsReply(snaps []shardkv.StatsSnapshot) []byte {
+	b := []byte{StatusOK}
+	b = binary.BigEndian.AppendUint16(b, uint16(len(snaps)))
+	for _, s := range snaps {
+		for _, v := range []uint64{
+			s.Gets, s.Puts, s.Dels,
+			s.OK, s.Recovered, s.Failed, s.NotInvoked,
+			s.CrashesSeen, s.CrashesInjected, s.Retries,
+		} {
+			b = binary.BigEndian.AppendUint64(b, v)
+		}
+	}
+	return b
+}
+
+// Reader is a cursor over a frame payload. Reads past the end set Err and
+// return zero values, so decode sequences check the error once at the end.
+type Reader struct {
+	b   []byte
+	off int
+	Err bool
+}
+
+// NewReader wraps payload.
+func NewReader(payload []byte) *Reader { return &Reader{b: payload} }
+
+// Rest reports how many bytes remain unread.
+func (r *Reader) Rest() int { return len(r.b) - r.off }
+
+func (r *Reader) take(n int) []byte {
+	if r.off+n > len(r.b) {
+		r.Err = true
+		return nil
+	}
+	v := r.b[r.off : r.off+n]
+	r.off += n
+	return v
+}
+
+// U8 reads one byte.
+func (r *Reader) U8() byte {
+	v := r.take(1)
+	if v == nil {
+		return 0
+	}
+	return v[0]
+}
+
+// U16 reads a big-endian uint16.
+func (r *Reader) U16() uint16 {
+	v := r.take(2)
+	if v == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint16(v)
+}
+
+// U32 reads a big-endian uint32.
+func (r *Reader) U32() uint32 {
+	v := r.take(4)
+	if v == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(v)
+}
+
+// U64 reads a big-endian uint64.
+func (r *Reader) U64() uint64 {
+	v := r.take(8)
+	if v == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(v)
+}
+
+// I64 reads a big-endian two's-complement int64.
+func (r *Reader) I64() int64 { return int64(r.U64()) }
+
+// Key reads a u16-length-prefixed key.
+func (r *Reader) Key() string {
+	n := int(r.U16())
+	v := r.take(n)
+	if v == nil {
+		return ""
+	}
+	return string(v)
+}
+
+// Outcome reads one encoded detectable outcome.
+func (r *Reader) Outcome() runtime.Outcome[int] {
+	st := runtime.Status(r.U8())
+	val := int(r.I64())
+	crashes := int(r.U32())
+	return runtime.Outcome[int]{Status: st, Resp: val, Crashes: crashes}
+}
+
+// Snapshot reads one encoded shard stats snapshot.
+func (r *Reader) Snapshot() shardkv.StatsSnapshot {
+	return shardkv.StatsSnapshot{
+		Gets: r.U64(), Puts: r.U64(), Dels: r.U64(),
+		OK: r.U64(), Recovered: r.U64(), Failed: r.U64(), NotInvoked: r.U64(),
+		CrashesSeen: r.U64(), CrashesInjected: r.U64(), Retries: r.U64(),
+	}
+}
+
+// ErrName names a wire error code for diagnostics.
+func ErrName(code byte) string {
+	switch code {
+	case ErrBadRequest:
+		return "bad-request"
+	case ErrUnknownSession:
+		return "unknown-session"
+	case ErrStaleRequest:
+		return "stale-request"
+	case ErrSlotsExhausted:
+		return "slots-exhausted"
+	case ErrObserver:
+		return "observer-session"
+	default:
+		return fmt.Sprintf("error-0x%02x", code)
+	}
+}

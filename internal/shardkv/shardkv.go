@@ -84,6 +84,7 @@ func (sh *shard) delRetry(pid int, key string) int {
 type Store struct {
 	shards []*shard
 	procs  int
+	slots  *slotPool
 }
 
 // New allocates a store of shards independent partitions, each a fresh
@@ -97,7 +98,7 @@ func NewModel(shards, procs int, m nvm.Model) *Store {
 	if shards < 1 {
 		panic("shardkv: need at least one shard")
 	}
-	s := &Store{procs: procs}
+	s := &Store{procs: procs, slots: newSlotPool(procs)}
 	for i := 0; i < shards; i++ {
 		sys := runtime.NewSystemModel(procs, m)
 		s.shards = append(s.shards, &shard{sys: sys, store: kv.New(sys)})
@@ -192,6 +193,16 @@ func (s *Store) Crash() {
 
 // StatsFor returns a snapshot of shard i's counters.
 func (s *Store) StatsFor(i int) StatsSnapshot { return s.shards[i].stats.snapshot() }
+
+// Snapshots returns a point-in-time copy of every shard's counters,
+// indexed by shard. The network front-end serves these over the wire.
+func (s *Store) Snapshots() []StatsSnapshot {
+	out := make([]StatsSnapshot, len(s.shards))
+	for i := range s.shards {
+		out[i] = s.StatsFor(i)
+	}
+	return out
+}
 
 // TotalStats returns the sum of all shards' counters.
 func (s *Store) TotalStats() StatsSnapshot {

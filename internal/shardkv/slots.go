@@ -1,0 +1,62 @@
+package shardkv
+
+import "sync"
+
+// slotPool hands out the store's process identities [0, procs) to
+// transient owners — the network front-end leases one slot per client
+// session, so a remote session occupies exactly one process identity of
+// the paper's N-process model for as long as it lives.
+type slotPool struct {
+	mu   sync.Mutex
+	free []int
+}
+
+func newSlotPool(procs int) *slotPool {
+	p := &slotPool{free: make([]int, procs)}
+	// Hand out low pids first: free is kept as a stack with the smallest
+	// pid on top, so tests see deterministic assignment.
+	for i := range p.free {
+		p.free[i] = procs - 1 - i
+	}
+	return p
+}
+
+// AcquireProc leases a free process identity from the store. It returns
+// false when every slot is leased: the caller must not invent pids, since
+// two concurrent operations by the same process would break the
+// one-operation-per-process rule of the model.
+func (s *Store) AcquireProc() (int, bool) {
+	s.slots.mu.Lock()
+	defer s.slots.mu.Unlock()
+	n := len(s.slots.free)
+	if n == 0 {
+		return 0, false
+	}
+	pid := s.slots.free[n-1]
+	s.slots.free = s.slots.free[:n-1]
+	return pid, true
+}
+
+// ReleaseProc returns a leased process identity to the pool. Releasing a
+// pid that is out of range or already free panics: a double release would
+// let two owners share one process identity.
+func (s *Store) ReleaseProc(pid int) {
+	if pid < 0 || pid >= s.procs {
+		panic("shardkv: ReleaseProc of out-of-range pid")
+	}
+	s.slots.mu.Lock()
+	defer s.slots.mu.Unlock()
+	for _, f := range s.slots.free {
+		if f == pid {
+			panic("shardkv: double ReleaseProc")
+		}
+	}
+	s.slots.free = append(s.slots.free, pid)
+}
+
+// FreeSlots reports how many process identities are currently unleased.
+func (s *Store) FreeSlots() int {
+	s.slots.mu.Lock()
+	defer s.slots.mu.Unlock()
+	return len(s.slots.free)
+}

@@ -102,6 +102,23 @@ func (s *Stats) snapshot() StatsSnapshot {
 	}
 }
 
+// Sub returns the element-wise difference a − b: the activity of the
+// window between two snapshots of the same shard (or total).
+func (a StatsSnapshot) Sub(b StatsSnapshot) StatsSnapshot {
+	return StatsSnapshot{
+		Gets:            a.Gets - b.Gets,
+		Puts:            a.Puts - b.Puts,
+		Dels:            a.Dels - b.Dels,
+		OK:              a.OK - b.OK,
+		Recovered:       a.Recovered - b.Recovered,
+		Failed:          a.Failed - b.Failed,
+		NotInvoked:      a.NotInvoked - b.NotInvoked,
+		CrashesSeen:     a.CrashesSeen - b.CrashesSeen,
+		CrashesInjected: a.CrashesInjected - b.CrashesInjected,
+		Retries:         a.Retries - b.Retries,
+	}
+}
+
 // Add returns the element-wise sum of two snapshots.
 func (a StatsSnapshot) Add(b StatsSnapshot) StatsSnapshot {
 	return StatsSnapshot{
