@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"detectable/internal/baseline"
+	"detectable/internal/benchsuite"
 	"detectable/internal/counter"
 	"detectable/internal/linearize"
 	"detectable/internal/maxreg"
@@ -20,7 +21,6 @@ import (
 	"detectable/internal/rcas"
 	"detectable/internal/runtime"
 	"detectable/internal/rw"
-	"detectable/internal/shardkv"
 	"detectable/internal/spec"
 )
 
@@ -30,54 +30,21 @@ import (
 // processes hammering a shared key space (3:1 put:get). With one shard all
 // processes contend on a single system's space; more shards split the keys
 // across independent NVM spaces, so throughput should rise with the count.
+// The body lives in internal/benchsuite, shared with cmd/benchjson so the
+// BENCH_*.json trajectory records exactly these numbers.
 func BenchmarkShardKV(b *testing.B) {
 	const procs = 8
 	for _, shards := range []int{1, 2, 4, 8} {
-		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
-			s := shardkv.New(shards, procs)
-			keys := make([]string, 64)
-			for i := range keys {
-				keys[i] = fmt.Sprintf("key-%d", i)
-				s.PutRetry(0, keys[i], 0) // pre-create the registers
-			}
-			var wg sync.WaitGroup
-			each := b.N/procs + 1
-			b.ResetTimer()
-			for p := 0; p < procs; p++ {
-				wg.Add(1)
-				go func(pid int) {
-					defer wg.Done()
-					for i := 0; i < each; i++ {
-						k := keys[(i*7+pid*13)%len(keys)]
-						if i%4 == 0 {
-							s.GetRetry(pid, k)
-						} else {
-							s.PutRetry(pid, k, i)
-						}
-					}
-				}(p)
-			}
-			wg.Wait()
-		})
+		b.Run(fmt.Sprintf("shards=%d", shards), benchsuite.ShardKV(shards, procs))
 	}
 }
 
 // BenchmarkShardKVMultiPut measures the batched write path: one process
-// putting 64-entry batches grouped across the shards.
+// putting 64-entry batches grouped (and fanned out in parallel) across
+// the shards.
 func BenchmarkShardKVMultiPut(b *testing.B) {
 	for _, shards := range []int{1, 8} {
-		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
-			s := shardkv.New(shards, 1)
-			entries := make([]shardkv.KV, 64)
-			for i := range entries {
-				entries[i] = shardkv.KV{Key: fmt.Sprintf("key-%d", i), Val: i}
-			}
-			s.MultiPutRetry(0, entries)
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				s.MultiPutRetry(0, entries)
-			}
-		})
+		b.Run(fmt.Sprintf("shards=%d", shards), benchsuite.ShardKVMultiPut(shards))
 	}
 }
 
@@ -110,27 +77,12 @@ func BenchmarkCASPlain(b *testing.B) {
 	}
 }
 
-// BenchmarkCASDetectableContended sweeps the process count on one object.
+// BenchmarkCASDetectableContended sweeps the process count on one object
+// (body shared with cmd/benchjson via internal/benchsuite; it uses the
+// production ring-history configuration).
 func BenchmarkCASDetectableContended(b *testing.B) {
 	for _, procs := range []int{2, 4, 8} {
-		b.Run(fmt.Sprintf("procs=%d", procs), func(b *testing.B) {
-			sys := runtime.NewSystem(procs)
-			o := rcas.NewInt(sys, 0)
-			var wg sync.WaitGroup
-			each := b.N/procs + 1
-			b.ResetTimer()
-			for p := 0; p < procs; p++ {
-				wg.Add(1)
-				go func(pid int) {
-					defer wg.Done()
-					for i := 0; i < each; i++ {
-						out := o.Read(pid)
-						o.Cas(pid, out.Resp, out.Resp+1)
-					}
-				}(p)
-			}
-			wg.Wait()
-		})
+		b.Run(fmt.Sprintf("procs=%d", procs), benchsuite.CASDetectableContended(procs))
 	}
 }
 
@@ -138,14 +90,7 @@ func BenchmarkCASDetectableContended(b *testing.B) {
 
 func BenchmarkWriteDetectable(b *testing.B) {
 	for _, procs := range []int{1, 8, 32} {
-		b.Run(fmt.Sprintf("N=%d", procs), func(b *testing.B) {
-			sys := runtime.NewSystem(procs)
-			reg := rw.NewInt(sys, 0)
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				reg.Write(0, i)
-			}
-		})
+		b.Run(fmt.Sprintf("N=%d", procs), benchsuite.WriteDetectable(procs))
 	}
 }
 

@@ -48,10 +48,18 @@ type Client struct {
 
 	conn net.Conn
 	br   *bufio.Reader
+	bw   *bufio.Writer
 
 	session uint64
 	pid     int
 	nextID  uint64
+
+	// enc is the per-session request-encoding scratch and readBuf the
+	// grow-only reply buffer: one operation in flight at a time (the
+	// per-process rule), so both are reused for every call and the framing
+	// path allocates nothing in steady state.
+	enc     []byte
+	readBuf []byte
 
 	resumes  uint64
 	killNext bool
@@ -85,11 +93,18 @@ func (c *Client) connect() error {
 		flags |= server.HelloFlagObserver
 	}
 	br := bufio.NewReader(conn)
-	if err := server.WriteFrame(conn, server.EncodeHello(c.session, flags)); err != nil {
+	bw := bufio.NewWriter(conn)
+	// Freshly encoded on purpose: connect runs inside call's resume loop,
+	// where the pending request still aliases the c.enc scratch.
+	if err := server.WriteFrame(bw, server.EncodeHello(c.session, flags)); err != nil {
 		conn.Close()
 		return err
 	}
-	payload, err := server.ReadFrame(br)
+	if err := bw.Flush(); err != nil {
+		conn.Close()
+		return err
+	}
+	payload, err := server.ReadFrameInto(br, &c.readBuf)
 	if err != nil {
 		conn.Close()
 		return err
@@ -110,7 +125,7 @@ func (c *Client) connect() error {
 		c.resumes++
 	}
 	c.session, c.pid = sid, pid
-	c.conn, c.br = conn, br
+	c.conn, c.br, c.bw = conn, br, bw
 	return nil
 }
 
@@ -129,7 +144,7 @@ func (c *Client) Resumes() uint64 { return c.resumes }
 func (c *Client) KillConn() {
 	if c.conn != nil {
 		c.conn.Close()
-		c.conn, c.br = nil, nil
+		c.conn, c.br, c.bw = nil, nil, nil
 	}
 }
 
@@ -177,14 +192,17 @@ func (c *Client) call(req []byte) ([]byte, error) {
 				continue
 			}
 		}
-		err := server.WriteFrame(c.conn, req)
+		err := server.WriteFrame(c.bw, req)
+		if err == nil {
+			err = c.bw.Flush()
+		}
 		if err == nil {
 			if c.killNext {
 				c.killNext = false
 				c.conn.Close() // reply is lost; the resume path below recovers it
 			}
 			var payload []byte
-			if payload, err = server.ReadFrame(c.br); err == nil {
+			if payload, err = server.ReadFrameInto(c.br, &c.readBuf); err == nil {
 				return payload, nil
 			}
 		}
@@ -236,7 +254,8 @@ func (c *Client) Get(key string, plan ...uint32) (runtime.Outcome[int], error) {
 	if err := checkKey(key); err != nil {
 		return runtime.Outcome[int]{}, err
 	}
-	return c.callOutcome(server.EncodeGet(c.id(), planOf(plan), key))
+	c.enc = server.AppendGet(c.enc[:0], c.id(), planOf(plan), key)
+	return c.callOutcome(c.enc)
 }
 
 // Put writes key := val and returns its detectable outcome.
@@ -244,7 +263,8 @@ func (c *Client) Put(key string, val int, plan ...uint32) (runtime.Outcome[int],
 	if err := checkKey(key); err != nil {
 		return runtime.Outcome[int]{}, err
 	}
-	return c.callOutcome(server.EncodePut(c.id(), planOf(plan), key, val))
+	c.enc = server.AppendPut(c.enc[:0], c.id(), planOf(plan), key, val)
+	return c.callOutcome(c.enc)
 }
 
 // Del removes key and returns its detectable outcome.
@@ -252,7 +272,8 @@ func (c *Client) Del(key string, plan ...uint32) (runtime.Outcome[int], error) {
 	if err := checkKey(key); err != nil {
 		return runtime.Outcome[int]{}, err
 	}
-	return c.callOutcome(server.EncodeDel(c.id(), planOf(plan), key))
+	c.enc = server.AppendDel(c.enc[:0], c.id(), planOf(plan), key)
+	return c.callOutcome(c.enc)
 }
 
 // GetRetry re-invokes Get (fresh request IDs) until the read linearizes,
@@ -309,7 +330,8 @@ func (c *Client) MultiGet(keys []string) ([]runtime.Outcome[int], error) {
 			return nil, err
 		}
 	}
-	payload, err := c.call(server.EncodeMGet(c.id(), keys))
+	c.enc = server.AppendMGet(c.enc[:0], c.id(), keys)
+	payload, err := c.call(c.enc)
 	if err != nil {
 		return nil, err
 	}
@@ -327,7 +349,8 @@ func (c *Client) MultiPut(entries []shardkv.KV) ([]runtime.Outcome[int], error) 
 			return nil, err
 		}
 	}
-	payload, err := c.call(server.EncodeMPut(c.id(), entries))
+	c.enc = server.AppendMPut(c.enc[:0], c.id(), entries)
+	payload, err := c.call(c.enc)
 	if err != nil {
 		return nil, err
 	}
@@ -337,18 +360,22 @@ func (c *Client) MultiPut(entries []shardkv.KV) ([]runtime.Outcome[int], error) 
 // PipelinePut issues one PUT frame per entry back-to-back before reading
 // any reply, then collects the replies in order — at most server.Window
 // entries, the session's outcome-window budget for outstanding requests.
-// On connection loss the unanswered suffix is re-issued after resume, so
+// All frames are encoded into the session scratch and leave in one
+// buffered Write; the server coalesces the replies symmetrically. On
+// connection loss the unanswered suffix is re-issued after resume, so
 // every entry still gets a definite exactly-once verdict.
 func (c *Client) PipelinePut(entries []shardkv.KV) ([]runtime.Outcome[int], error) {
 	if len(entries) > server.Window {
 		return nil, fmt.Errorf("client: pipeline of %d exceeds the %d-request window", len(entries), server.Window)
 	}
-	reqs := make([][]byte, len(entries))
+	c.enc = c.enc[:0]
+	offs := make([]int, len(entries)+1)
 	for i, e := range entries {
 		if err := checkKey(e.Key); err != nil {
 			return nil, err
 		}
-		reqs[i] = server.EncodePut(c.id(), 0, e.Key, e.Val)
+		c.enc = server.AppendPut(c.enc, c.id(), 0, e.Key, e.Val)
+		offs[i+1] = len(c.enc)
 	}
 	outs := make([]runtime.Outcome[int], len(entries))
 	done := 0
@@ -363,13 +390,16 @@ func (c *Client) PipelinePut(entries []shardkv.KV) ([]runtime.Outcome[int], erro
 			}
 		}
 		err := func() error {
-			for _, req := range reqs[done:] {
-				if err := server.WriteFrame(c.conn, req); err != nil {
+			for i := done; i < len(entries); i++ {
+				if err := server.WriteFrame(c.bw, c.enc[offs[i]:offs[i+1]]); err != nil {
 					return err
 				}
 			}
-			for done < len(reqs) {
-				payload, err := server.ReadFrame(c.br)
+			if err := c.bw.Flush(); err != nil {
+				return err
+			}
+			for done < len(entries) {
+				payload, err := server.ReadFrameInto(c.br, &c.readBuf)
 				if err != nil {
 					return err
 				}

@@ -6,12 +6,28 @@
 // appended while the operation holds no pending effect that could reorder
 // with it (invocations are logged before the first primitive of the body;
 // responses after the last).
+//
+// A Log runs in one of three modes (Mode), chosen at allocation:
+//
+//   - ModeFull (the zero value): an unbounded, mutex-guarded slice. Every
+//     event is retained, so the durable-linearizability and detectability
+//     checkers can replay complete executions. Verification tests use this.
+//   - ModeRing: a fixed-capacity power-of-two ring. Appends reserve a slot
+//     with one atomic ticket increment and synchronize only with appends
+//     that collide on the same slot (a wrap-around later), so the log adds
+//     no global serialization to the operation hot path. The most recent
+//     events survive for diagnostics; Events reconstructs their order from
+//     the per-slot sequence numbers. Production paths (internal/shardkv)
+//     default to this.
+//   - ModeOff: events are discarded. Benchmark floors use this.
 package history
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"detectable/internal/spec"
 )
@@ -31,6 +47,33 @@ const (
 	// the recovered response (the operation was linearized) or fail.
 	KindRecoverReturn
 )
+
+// Mode selects a Log's retention strategy.
+type Mode int
+
+// Log modes.
+const (
+	// ModeFull retains every event (unbounded, mutex-guarded).
+	ModeFull Mode = iota
+	// ModeRing retains the most recent events in a fixed ring.
+	ModeRing
+	// ModeOff retains nothing.
+	ModeOff
+)
+
+// String returns a short name for the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeFull:
+		return "full"
+	case ModeRing:
+		return "ring"
+	case ModeOff:
+		return "off"
+	default:
+		return "unknown"
+	}
+}
 
 // Event is one record in a Log.
 type Event struct {
@@ -66,12 +109,49 @@ func (e Event) String() string {
 	}
 }
 
-// Log is an append-only, concurrency-safe event log. The zero value is
-// ready to use.
+// slot is one ring entry. seq is 1+ticket of the event currently stored
+// (0 while empty); both fields are guarded by the slot's own mutex, so an
+// append contends only with a reader or with the rare append that wrapped
+// around onto the same slot.
+type slot struct {
+	mu  sync.Mutex
+	seq uint64
+	ev  Event
+}
+
+// Log is an append-only, concurrency-safe event log. The zero value is a
+// ModeFull log, ready to use.
 type Log struct {
+	mode Mode
+
+	// ModeFull state.
 	mu     sync.Mutex
 	events []Event
+
+	// ModeRing state.
+	ticket atomic.Uint64
+	slots  []slot
+	mask   uint64
 }
+
+// NewRing returns a ModeRing log retaining the most recent capacity events
+// (rounded up to a power of two, minimum 64).
+func NewRing(capacity int) *Log {
+	n := 64
+	for n < capacity {
+		n <<= 1
+	}
+	return &Log{mode: ModeRing, slots: make([]slot, n), mask: uint64(n - 1)}
+}
+
+// NewOff returns a ModeOff log that discards every event.
+func NewOff() *Log { return &Log{mode: ModeOff} }
+
+// Mode returns the log's retention mode.
+func (l *Log) Mode() Mode { return l.mode }
+
+// Capacity returns the ring capacity (0 for full and off modes).
+func (l *Log) Capacity() int { return len(l.slots) }
 
 // Invoke records the start of op by pid.
 func (l *Log) Invoke(pid int, op spec.Operation) {
@@ -95,34 +175,133 @@ func (l *Log) RecoverReturn(pid, resp int, fail bool) {
 	l.append(Event{Kind: KindRecoverReturn, PID: pid, Resp: resp, Fail: fail})
 }
 
-// Events returns a snapshot copy of the log.
+// Events returns a snapshot copy of the retained events in recording
+// order. In ring mode the order is reconstructed from sequence numbers and
+// older overwritten events are absent (see Appended/Dropped).
 func (l *Log) Events() []Event {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	out := make([]Event, len(l.events))
-	copy(out, l.events)
-	return out
+	switch l.mode {
+	case ModeOff:
+		return nil
+	case ModeRing:
+		return l.ringSnapshot()
+	default:
+		l.mu.Lock()
+		defer l.mu.Unlock()
+		out := make([]Event, len(l.events))
+		copy(out, l.events)
+		return out
+	}
 }
 
-// Len returns the number of recorded events.
+// Appended returns the total number of events ever appended, including
+// events a ring has since overwritten and events an off log discarded.
+func (l *Log) Appended() uint64 {
+	switch l.mode {
+	case ModeRing, ModeOff:
+		return l.ticket.Load()
+	default:
+		l.mu.Lock()
+		defer l.mu.Unlock()
+		return uint64(len(l.events))
+	}
+}
+
+// Dropped returns how many appended events are no longer retained.
+func (l *Log) Dropped() uint64 {
+	switch l.mode {
+	case ModeRing:
+		if t := l.ticket.Load(); t > uint64(len(l.slots)) {
+			return t - uint64(len(l.slots))
+		}
+		return 0
+	case ModeOff:
+		return l.ticket.Load()
+	default:
+		return 0
+	}
+}
+
+// Len returns the number of retained events.
 func (l *Log) Len() int {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return len(l.events)
+	switch l.mode {
+	case ModeOff:
+		return 0
+	case ModeRing:
+		if t := l.ticket.Load(); t < uint64(len(l.slots)) {
+			return int(t)
+		}
+		return len(l.slots)
+	default:
+		l.mu.Lock()
+		defer l.mu.Unlock()
+		return len(l.events)
+	}
 }
 
-// String renders the whole log, one event per line.
+// String renders the retained log, one event per line, without the extra
+// snapshot copy Events would make.
 func (l *Log) String() string {
-	evs := l.Events()
 	var b strings.Builder
-	for i, e := range evs {
-		fmt.Fprintf(&b, "%3d %s\n", i, e)
+	render := func(evs []Event) {
+		for i, e := range evs {
+			fmt.Fprintf(&b, "%3d %s\n", i, e)
+		}
+	}
+	switch l.mode {
+	case ModeOff:
+	case ModeRing:
+		render(l.ringSnapshot())
+	default:
+		l.mu.Lock()
+		defer l.mu.Unlock()
+		render(l.events)
 	}
 	return b.String()
 }
 
 func (l *Log) append(e Event) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	l.events = append(l.events, e)
+	switch l.mode {
+	case ModeOff:
+		l.ticket.Add(1)
+	case ModeRing:
+		t := l.ticket.Add(1)
+		s := &l.slots[(t-1)&l.mask]
+		s.mu.Lock()
+		s.seq = t
+		s.ev = e
+		s.mu.Unlock()
+	default:
+		l.mu.Lock()
+		l.events = append(l.events, e)
+		l.mu.Unlock()
+	}
+}
+
+// ringSnapshot collects the filled slots and orders them by sequence
+// number. Appends racing the snapshot may leave holes (a reserved ticket
+// whose slot write has not landed); the snapshot simply omits them.
+func (l *Log) ringSnapshot() []Event {
+	type tagged struct {
+		seq uint64
+		ev  Event
+	}
+	n := l.Len()
+	if n == 0 {
+		return nil
+	}
+	tags := make([]tagged, 0, n)
+	for i := range l.slots {
+		s := &l.slots[i]
+		s.mu.Lock()
+		if s.seq != 0 {
+			tags = append(tags, tagged{seq: s.seq, ev: s.ev})
+		}
+		s.mu.Unlock()
+	}
+	sort.Slice(tags, func(a, b int) bool { return tags[a].seq < tags[b].seq })
+	out := make([]Event, len(tags))
+	for i, t := range tags {
+		out[i] = t.ev
+	}
+	return out
 }

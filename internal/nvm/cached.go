@@ -1,27 +1,38 @@
 package nvm
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // CachedCell is an atomic memory word in the shared-cache model of
 // Izraelevitz et al.: primitives are applied to a volatile shared cache and
 // reach NVM only when explicitly flushed. A system-wide crash discards the
 // cached value, reverting the cell to its last flushed value.
 //
+// The cached value lives in an atomic word, so crash-free Load/Store/CAS
+// attempts run concurrently under a shared read-lock; only Flush, the
+// crash revert and plan-armed (instrumented) attempts take the exclusive
+// lock. The read-lock is what preserves the crash ordering invariant: a
+// store serialized before the revert completes before the revert wipes it,
+// and a store serialized after acquires the lock after the epoch advanced,
+// re-validates it and dies instead of resurrecting the lost value.
+//
 // Algorithms written for the private-cache model are generally incorrect on
 // raw CachedCells (tests exploit this to demonstrate why the flush
 // transformation is needed); wrap the cell in AutoPersist to apply the
 // syntactic flush-after-write transformation from Section 6 of the paper.
 type CachedCell[T comparable] struct {
-	mu        sync.Mutex
-	persisted T
-	cached    T
-	dirty     bool
+	mu        sync.RWMutex
+	cached    word[T]
+	persisted T // guarded by mu (exclusive)
+	dirty     atomic.Bool
 }
 
 // NewCachedCell allocates a shared-cache cell holding init inside sp and
 // registers it for crash handling.
 func NewCachedCell[T comparable](sp *Space, init T) *CachedCell[T] {
-	c := &CachedCell[T]{persisted: init, cached: init}
+	c := &CachedCell[T]{persisted: init, cached: newWordStorage(init)}
 	sp.noteCell()
 	sp.register(c)
 	return c
@@ -33,21 +44,44 @@ var _ crashable = (*CachedCell[int])(nil)
 // Load atomically reads the cached value.
 func (c *CachedCell[T]) Load(ctx *Ctx) T {
 	ctx.pre(KindLoad)
+	if ctx.fast() {
+		c.mu.RLock()
+		if !ctx.alive() {
+			c.mu.RUnlock()
+			ctx.CheckAlive() // unwinds with Crashed
+		}
+		v := c.cached.load()
+		c.mu.RUnlock()
+		ctx.count(KindLoad)
+		return v
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	ctx.enter(KindLoad)
-	return c.cached
+	return c.cached.load()
 }
 
 // Store atomically writes the cached value. The store is volatile until the
 // cell is flushed.
 func (c *CachedCell[T]) Store(ctx *Ctx, v T) {
 	ctx.pre(KindStore)
+	if ctx.fast() {
+		c.mu.RLock()
+		if !ctx.alive() {
+			c.mu.RUnlock()
+			ctx.CheckAlive()
+		}
+		c.cached.store(v)
+		c.dirty.Store(true)
+		c.mu.RUnlock()
+		ctx.count(KindStore)
+		return
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	ctx.enter(KindStore)
-	c.cached = v
-	c.dirty = true
+	c.cached.store(v)
+	c.dirty.Store(true)
 }
 
 // CompareAndSwap atomically replaces the cached value with new if it equals
@@ -55,14 +89,27 @@ func (c *CachedCell[T]) Store(ctx *Ctx, v T) {
 // volatile until flushed.
 func (c *CachedCell[T]) CompareAndSwap(ctx *Ctx, old, new T) bool {
 	ctx.pre(KindCAS)
+	if ctx.fast() {
+		c.mu.RLock()
+		if !ctx.alive() {
+			c.mu.RUnlock()
+			ctx.CheckAlive()
+		}
+		ok := c.cached.cas(old, new)
+		if ok {
+			c.dirty.Store(true)
+		}
+		c.mu.RUnlock()
+		ctx.count(KindCAS)
+		return ok
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	ctx.enter(KindCAS)
-	if c.cached != old {
+	if !c.cached.cas(old, new) {
 		return false
 	}
-	c.cached = new
-	c.dirty = true
+	c.dirty.Store(true)
 	return true
 }
 
@@ -72,8 +119,8 @@ func (c *CachedCell[T]) Flush(ctx *Ctx) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	ctx.enter(KindFlush)
-	c.persisted = c.cached
-	c.dirty = false
+	c.persisted = c.cached.load()
+	c.dirty.Store(false)
 }
 
 // onCrash reverts the cell to its last persisted value. Called by the Space
@@ -83,23 +130,21 @@ func (c *CachedCell[T]) Flush(ctx *Ctx) {
 func (c *CachedCell[T]) onCrash() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.cached = c.persisted
-	c.dirty = false
+	c.cached.store(c.persisted)
+	c.dirty.Store(false)
 }
 
 // Peek returns the cell's cached (current logical) value without a Ctx,
 // for test assertions.
 func (c *CachedCell[T]) Peek() T {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.cached
+	return c.cached.load()
 }
 
 // PeekPersisted returns the cell's persisted value without a Ctx, for test
 // assertions about post-crash NVM contents.
 func (c *CachedCell[T]) PeekPersisted() T {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	return c.persisted
 }
 

@@ -59,16 +59,23 @@ func NewWord[T comparable](sp *Space, init T) CASRegister[T] {
 // every primitive is applied directly to NVM, so a system-wide crash
 // preserves the cell's value.
 //
+// Crash-free attempts (no crash plan armed on the Ctx) take a lock-free
+// fast path: the value lives in an atomic word, the epoch is validated in
+// Ctx.pre, and the primitive is a single atomic instruction. Plan-armed
+// attempts fall back to the original mutex-serialized path so
+// schedule-driven tests observe unchanged interleavings. Both paths operate
+// on the same atomic word, so they compose safely when mixed.
+//
 // Use NewCell to allocate one inside a Space.
 type Cell[T comparable] struct {
 	mu sync.Mutex
-	v  T
+	w  word[T]
 }
 
 // NewCell allocates a cell holding init inside sp. The Space records the
 // allocation for space accounting; Cells need no crash handling.
 func NewCell[T comparable](sp *Space, init T) *Cell[T] {
-	c := &Cell[T]{v: init}
+	c := &Cell[T]{w: newWordStorage(init)}
 	sp.noteCell()
 	return c
 }
@@ -78,34 +85,45 @@ var _ CASRegister[int] = (*Cell[int])(nil)
 // Load atomically reads the cell.
 func (c *Cell[T]) Load(ctx *Ctx) T {
 	ctx.pre(KindLoad)
+	if ctx.fast() {
+		v := c.w.load()
+		ctx.count(KindLoad)
+		return v
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	ctx.enter(KindLoad)
-	return c.v
+	return c.w.load()
 }
 
 // Store atomically writes the cell. In the private-cache model the value is
 // persisted immediately.
 func (c *Cell[T]) Store(ctx *Ctx, v T) {
 	ctx.pre(KindStore)
+	if ctx.fast() {
+		c.w.store(v)
+		ctx.count(KindStore)
+		return
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	ctx.enter(KindStore)
-	c.v = v
+	c.w.store(v)
 }
 
 // CompareAndSwap atomically replaces the cell's value with new if it equals
 // old, reporting whether the swap happened.
 func (c *Cell[T]) CompareAndSwap(ctx *Ctx, old, new T) bool {
 	ctx.pre(KindCAS)
+	if ctx.fast() {
+		ok := c.w.cas(old, new)
+		ctx.count(KindCAS)
+		return ok
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	ctx.enter(KindCAS)
-	if c.v != old {
-		return false
-	}
-	c.v = new
-	return true
+	return c.w.cas(old, new)
 }
 
 // Flush is a no-op: private-cache primitives persist immediately. It still
@@ -118,15 +136,11 @@ func (c *Cell[T]) Flush(ctx *Ctx) {
 // assertions and checkers that inspect post-crash NVM state; algorithm code
 // must use Load.
 func (c *Cell[T]) Peek() T {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.v
+	return c.w.load()
 }
 
 // Poke overwrites the cell's value without a Ctx. It is intended for test
 // setup only.
 func (c *Cell[T]) Poke(v T) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.v = v
+	c.w.store(v)
 }

@@ -77,6 +77,24 @@ func (c *Ctx) CheckAlive() {
 	}
 }
 
+// fast reports whether the context may take the lock-free fast path: no
+// crash plan is armed, so no deterministic injection hooks need to observe
+// this attempt's primitives. Instrumented (plan-armed) attempts keep the
+// original mutex path so schedule-driven tests see unchanged behavior.
+func (c *Ctx) fast() bool { return c.plan == nil }
+
+// alive is CheckAlive without the panic, for fast paths that must release
+// a lock before unwinding.
+func (c *Ctx) alive() bool { return c.epoch.Current() == c.start }
+
+// count records the primitive in the shared statistics. Fast paths call it
+// after the atomic operation; the mutex path records inside enter instead.
+func (c *Ctx) count(kind OpKind) {
+	if c.stats != nil {
+		c.stats.record(kind)
+	}
+}
+
 // CrashPlan decides whether a system-wide crash should be injected
 // immediately before a primitive step. Implementations must be safe for use
 // from the single goroutine driving the Ctx.

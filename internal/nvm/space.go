@@ -83,6 +83,28 @@ func (s *Space) Ctx(pid int, plan CrashPlan) *Ctx {
 	return NewCtx(pid, &s.epoch, plan, &s.stats)
 }
 
+// ctxPool recycles the per-attempt contexts of crash-free operations, so
+// the operation hot path allocates nothing. Plan-armed contexts are never
+// pooled: a CrashPlan's hooks may retain the context (schedule-driven
+// tests do arbitrary things), and injection runs are not hot paths.
+var ctxPool = sync.Pool{New: func() any { return new(Ctx) }}
+
+// AcquireCtx is Ctx drawing from a pool; pair it with ReleaseCtx once the
+// attempt has completed and the context can no longer be referenced.
+func (s *Space) AcquireCtx(pid int, plan CrashPlan) *Ctx {
+	c := ctxPool.Get().(*Ctx)
+	c.pid, c.epoch, c.start, c.plan, c.stats, c.steps = pid, &s.epoch, s.epoch.Current(), plan, &s.stats, 0
+	return c
+}
+
+// ReleaseCtx returns a plan-free context to the pool. Plan-armed contexts
+// are dropped for the garbage collector instead (see AcquireCtx).
+func (s *Space) ReleaseCtx(c *Ctx) {
+	if c.plan == nil {
+		ctxPool.Put(c)
+	}
+}
+
 // Crash simulates a system-wide crash-failure: the epoch advances (so every
 // in-flight operation panics with Crashed at its next primitive) and all
 // registered volatile state — shared-cache contents — is discarded. Values

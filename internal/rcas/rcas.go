@@ -53,7 +53,18 @@ type CAS[V comparable] struct {
 
 	cAnn []*runtime.Ann[bool]
 	rAnn []*runtime.Ann[V]
+
+	// Cached per-process operation closures: the hot path builds no
+	// closures. casArgs[p] stages the (old, new) arguments of p's pending
+	// Cas — volatile helper state the recovery function never reads.
+	casArgs  []casArg[V]
+	casAnnFn []func(*nvm.Ctx)
+	casBodFn []func(*nvm.Ctx) bool
+	casRecFn []func(*nvm.Ctx) (bool, bool)
+	readOps  []runtime.Op[V]
 }
+
+type casArg[V comparable] struct{ old, new V }
 
 // New allocates a detectable CAS object in sys's memory space, initialized
 // to vinit. enc encodes values for history logging. New panics if sys has
@@ -76,6 +87,13 @@ func New[V comparable](sys *runtime.System, vinit V, enc func(V) int) *CAS[V] {
 		o.cAnn = append(o.cAnn, runtime.NewAnn[bool](sp))
 		o.rAnn = append(o.rAnn, runtime.NewAnn[V](sp))
 	}
+	o.casArgs = make([]casArg[V], n)
+	for p := 0; p < n; p++ {
+		o.casAnnFn = append(o.casAnnFn, o.makeCasAnnounce(p))
+		o.casBodFn = append(o.casBodFn, o.makeCasBody(p))
+		o.casRecFn = append(o.casRecFn, o.makeCasRecover(p))
+		o.readOps = append(o.readOps, o.makeReadOp(p))
+	}
 	return o
 }
 
@@ -97,46 +115,68 @@ func (o *CAS[V]) Read(pid int, plans ...nvm.CrashPlan) runtime.Outcome[V] {
 
 // CasOp builds the recoverable Cas operation instance for pid. Exposed so
 // schedule-driven tests and composed objects (internal/counter) can run it
-// directly.
+// directly. The closures are pre-built per process; (old, new) are staged
+// in casArgs[pid], which the body reads once at its start.
 func (o *CAS[V]) CasOp(pid int, old, new V) runtime.Op[bool] {
-	ann := o.cAnn[pid]
+	o.casArgs[pid] = casArg[V]{old: old, new: new}
 	return runtime.Op[bool]{
 		Desc:     spec.NewOp(spec.MethodCAS, o.enc(old), o.enc(new)),
-		Announce: func(ctx *nvm.Ctx) { ann.Announce(ctx, "cas") },
-		Body: func(ctx *nvm.Ctx) bool {
-			cur := o.c.Load(ctx) // line 28
-			if cur.Val != old {  // line 29
-				ann.SetResult(ctx, false) // line 30
-				return false              // line 31
-			}
-			newvec := cur.Vec ^ 1<<uint(pid)                                    // line 32: flip vec[p]
-			o.rd[pid].Store(ctx, newvec>>uint(pid)&1 == 1)                      // line 33
-			ann.SetCP(ctx, 1)                                                   // line 34
-			res := o.c.CompareAndSwap(ctx, cur, Pair[V]{Val: new, Vec: newvec}) // line 35
-			ann.SetResult(ctx, res)                                             // line 36
-			return res                                                          // line 37
-		},
-		Recover: func(ctx *nvm.Ctx) (bool, bool) {
-			if r := ann.Result(ctx); r.Set { // line 38
-				return r.Val, true // line 39
-			}
-			if ann.GetCP(ctx) == 0 { // line 40
-				return false, false // line 41
-			}
-			cur := o.c.Load(ctx)                     // line 42
-			if cur.Bit(pid) != o.rd[pid].Load(ctx) { // line 43
-				return false, false // line 44: CAS failed or not performed
-			}
-			ann.SetResult(ctx, true) // line 45: CAS was successful
-			return true, true        // line 46
-		},
-		Encode: runtime.EncodeBool,
+		Announce: o.casAnnFn[pid],
+		Body:     o.casBodFn[pid],
+		Recover:  o.casRecFn[pid],
+		Encode:   runtime.EncodeBool,
 	}
 }
 
-// ReadOp builds the recoverable Read operation instance for pid. The
-// recovery function re-invokes Read when no response was persisted.
+func (o *CAS[V]) makeCasAnnounce(pid int) func(*nvm.Ctx) {
+	ann := o.cAnn[pid]
+	return func(ctx *nvm.Ctx) { ann.Announce(ctx, "cas") }
+}
+
+func (o *CAS[V]) makeCasBody(pid int) func(*nvm.Ctx) bool {
+	ann := o.cAnn[pid]
+	return func(ctx *nvm.Ctx) bool {
+		old, new := o.casArgs[pid].old, o.casArgs[pid].new // staged arguments
+		cur := o.c.Load(ctx)                               // line 28
+		if cur.Val != old {                                // line 29
+			ann.SetResult(ctx, false) // line 30
+			return false              // line 31
+		}
+		newvec := cur.Vec ^ 1<<uint(pid)                                    // line 32: flip vec[p]
+		o.rd[pid].Store(ctx, newvec>>uint(pid)&1 == 1)                      // line 33
+		ann.SetCP(ctx, 1)                                                   // line 34
+		res := o.c.CompareAndSwap(ctx, cur, Pair[V]{Val: new, Vec: newvec}) // line 35
+		ann.SetResult(ctx, res)                                             // line 36
+		return res                                                          // line 37
+	}
+}
+
+func (o *CAS[V]) makeCasRecover(pid int) func(*nvm.Ctx) (bool, bool) {
+	ann := o.cAnn[pid]
+	return func(ctx *nvm.Ctx) (bool, bool) {
+		if r := ann.Result(ctx); r.Set { // line 38
+			return r.Val, true // line 39
+		}
+		if ann.GetCP(ctx) == 0 { // line 40
+			return false, false // line 41
+		}
+		cur := o.c.Load(ctx)                     // line 42
+		if cur.Bit(pid) != o.rd[pid].Load(ctx) { // line 43
+			return false, false // line 44: CAS failed or not performed
+		}
+		ann.SetResult(ctx, true) // line 45: CAS was successful
+		return true, true        // line 46
+	}
+}
+
+// ReadOp returns the recoverable Read operation instance for pid. The
+// recovery function re-invokes Read when no response was persisted. Reads
+// take no argument, so the whole Op is pre-built per process.
 func (o *CAS[V]) ReadOp(pid int) runtime.Op[V] {
+	return o.readOps[pid]
+}
+
+func (o *CAS[V]) makeReadOp(pid int) runtime.Op[V] {
 	ann := o.rAnn[pid]
 	body := func(ctx *nvm.Ctx) V {
 		cur := o.c.Load(ctx)

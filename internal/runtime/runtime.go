@@ -129,6 +129,17 @@ func (s *System) Space() *nvm.Space { return s.space }
 // Log returns the system's history log.
 func (s *System) Log() *history.Log { return s.log }
 
+// SetHistory replaces the system's history log — e.g. with a ring
+// (history.NewRing) on production paths where an unbounded full log would
+// serialize and grow without limit, or with history.NewOff for benchmark
+// floors. Call it before the first operation executes; events already
+// recorded in the previous log are not carried over. The crash hook is
+// re-installed so system-wide crashes land in the new log.
+func (s *System) SetHistory(l *history.Log) {
+	s.log = l
+	s.space.Epoch().SetAdvanceHook(l.Crash)
+}
+
 // Crash injects a system-wide crash-failure: every in-flight operation
 // panics at its next primitive and unflushed shared-cache state is lost.
 // The crash event is recorded in the history via the epoch hook.
@@ -143,10 +154,14 @@ func (s *System) Crash() {
 // interrupt the attempt).
 func Execute[R comparable](s *System, pid int, op Op[R], plans ...nvm.CrashPlan) Outcome[R] {
 	if op.Encode == nil {
-		op.Encode = func(R) int { panic(fmt.Sprintf("runtime: op %s has no response encoder", op.Desc)) }
+		// Capture only the description: closing over op itself would force
+		// the whole Op (and its closures) to escape on every call.
+		desc := op.Desc
+		op.Encode = func(R) int { panic(fmt.Sprintf("runtime: op %s has no response encoder", desc)) }
 	}
 
-	ctx := s.space.Ctx(pid, planAt(plans, 0))
+	ctx := s.space.AcquireCtx(pid, planAt(plans, 0))
+	defer s.space.ReleaseCtx(ctx)
 
 	// Phase 1: caller-side announcement (auxiliary state).
 	if op.Announce != nil {
@@ -171,15 +186,17 @@ func Execute[R comparable](s *System, pid int, op Op[R], plans ...nvm.CrashPlan)
 	}
 	crashes := 1
 	for attempt := 1; ; attempt++ {
-		rctx := s.space.Ctx(pid, planAt(plans, attempt))
+		rctx := s.space.AcquireCtx(pid, planAt(plans, attempt))
 		var (
 			r  R
 			ok bool
 		)
 		if crashed := runPhase(func() { r, ok = op.Recover(rctx) }); crashed {
+			s.space.ReleaseCtx(rctx)
 			crashes++
 			continue
 		}
+		s.space.ReleaseCtx(rctx)
 		if ok {
 			s.log.RecoverReturn(pid, op.Encode(r), false)
 			return Outcome[R]{Status: StatusRecovered, Resp: r, Crashes: crashes}

@@ -69,6 +69,18 @@ type Register[V comparable] struct {
 
 	wAnn []*runtime.Ann[int]
 	rAnn []*runtime.Ann[V]
+
+	// Cached per-process operation closures, so building an Op on the hot
+	// path allocates nothing. The closures are stateless across calls: the
+	// pending write value travels through wVals[p], written by WriteOp
+	// before the operation starts (it is volatile helper state — recovery
+	// never reads it, exactly as the paper's recovery functions take no
+	// arguments beyond the announcement).
+	wVals    []V
+	wAnnFn   []func(*nvm.Ctx)
+	wBodyFn  []func(*nvm.Ctx) int
+	wRecovFn []func(*nvm.Ctx) (int, bool)
+	readOps  []runtime.Op[V]
 }
 
 // New allocates a detectable register in sys's memory space, initialized to
@@ -97,6 +109,13 @@ func New[V comparable](sys *runtime.System, vinit V, enc func(V) int) *Register[
 		reg.wAnn = append(reg.wAnn, runtime.NewAnn[int](sp))
 		reg.rAnn = append(reg.rAnn, runtime.NewAnn[V](sp))
 	}
+	reg.wVals = make([]V, n)
+	for p := 0; p < n; p++ {
+		reg.wAnnFn = append(reg.wAnnFn, reg.makeWriteAnnounce(p))
+		reg.wBodyFn = append(reg.wBodyFn, reg.makeWriteBody(p))
+		reg.wRecovFn = append(reg.wRecovFn, reg.makeWriteRecover(p))
+		reg.readOps = append(reg.readOps, reg.makeReadOp(p))
+	}
 	return reg
 }
 
@@ -117,42 +136,61 @@ func (reg *Register[V]) Read(pid int, plans ...nvm.CrashPlan) runtime.Outcome[V]
 }
 
 // WriteOp builds the recoverable Write operation instance for pid. Exposed
-// so schedule-driven tests and the NRL wrapper can run it directly.
+// so schedule-driven tests and the NRL wrapper can run it directly. The
+// closures are pre-built per process (the hot path allocates only the
+// abstract operation's argument list); val is staged in wVals[pid], which
+// the body reads once at its start.
 func (reg *Register[V]) WriteOp(pid int, val V) runtime.Op[int] {
-	ann := reg.wAnn[pid]
+	reg.wVals[pid] = val
 	return runtime.Op[int]{
 		Desc:     spec.NewOp(spec.MethodWrite, reg.enc(val)),
-		Announce: func(ctx *nvm.Ctx) { ann.Announce(ctx, "write") },
-		Body: func(ctx *nvm.Ctx) int {
-			t := reg.r.Load(ctx)                          // line 1
-			reg.a[pid][t.Q][1-t.Toggle].Store(ctx, false) // line 2
-			mtoggle := reg.tp[pid].Load(ctx)              // line 3
-			reg.rd[pid].Store(ctx, recoveryData[V]{       // line 4
-				MToggle: mtoggle, QVal: t.Val, Q: t.Q, QToggle: t.Toggle,
-			})
-			if reg.r.Load(ctx) == t { // line 5
-				ann.SetCP(ctx, 1)                                              // line 6
-				reg.r.Store(ctx, Triple[V]{Val: val, Q: pid, Toggle: mtoggle}) // line 7
+		Announce: reg.wAnnFn[pid],
+		Body:     reg.wBodyFn[pid],
+		Recover:  reg.wRecovFn[pid],
+		Encode:   runtime.EncodeInt,
+	}
+}
+
+func (reg *Register[V]) makeWriteAnnounce(pid int) func(*nvm.Ctx) {
+	ann := reg.wAnn[pid]
+	return func(ctx *nvm.Ctx) { ann.Announce(ctx, "write") }
+}
+
+func (reg *Register[V]) makeWriteBody(pid int) func(*nvm.Ctx) int {
+	ann := reg.wAnn[pid]
+	return func(ctx *nvm.Ctx) int {
+		val := reg.wVals[pid]                         // the staged argument
+		t := reg.r.Load(ctx)                          // line 1
+		reg.a[pid][t.Q][1-t.Toggle].Store(ctx, false) // line 2
+		mtoggle := reg.tp[pid].Load(ctx)              // line 3
+		reg.rd[pid].Store(ctx, recoveryData[V]{       // line 4
+			MToggle: mtoggle, QVal: t.Val, Q: t.Q, QToggle: t.Toggle,
+		})
+		if reg.r.Load(ctx) == t { // line 5
+			ann.SetCP(ctx, 1)                                              // line 6
+			reg.r.Store(ctx, Triple[V]{Val: val, Q: pid, Toggle: mtoggle}) // line 7
+		}
+		return reg.finishWrite(ctx, pid, mtoggle, ann) // lines 8-13
+	}
+}
+
+func (reg *Register[V]) makeWriteRecover(pid int) func(*nvm.Ctx) (int, bool) {
+	ann := reg.wAnn[pid]
+	return func(ctx *nvm.Ctx) (int, bool) {
+		d := reg.rd[pid].Load(ctx)       // line 14
+		if r := ann.Result(ctx); r.Set { // line 15
+			return spec.Ack, true // line 16
+		}
+		switch ann.GetCP(ctx) {
+		case 0: // line 17
+			return 0, false // line 18
+		case 1: // line 19
+			if reg.r.Load(ctx) == (Triple[V]{Val: d.QVal, Q: d.Q, Toggle: d.QToggle}) &&
+				!reg.a[pid][d.Q][1-d.QToggle].Load(ctx) { // line 20
+				return 0, false // line 21
 			}
-			return reg.finishWrite(ctx, pid, mtoggle, ann) // lines 8-13
-		},
-		Recover: func(ctx *nvm.Ctx) (int, bool) {
-			d := reg.rd[pid].Load(ctx)       // line 14
-			if r := ann.Result(ctx); r.Set { // line 15
-				return spec.Ack, true // line 16
-			}
-			switch ann.GetCP(ctx) {
-			case 0: // line 17
-				return 0, false // line 18
-			case 1: // line 19
-				if reg.r.Load(ctx) == (Triple[V]{Val: d.QVal, Q: d.Q, Toggle: d.QToggle}) &&
-					!reg.a[pid][d.Q][1-d.QToggle].Load(ctx) { // line 20
-					return 0, false // line 21
-				}
-			}
-			return reg.finishWrite(ctx, pid, d.MToggle, ann), true // lines 22-27
-		},
-		Encode: runtime.EncodeInt,
+		}
+		return reg.finishWrite(ctx, pid, d.MToggle, ann), true // lines 22-27
 	}
 }
 
@@ -169,10 +207,16 @@ func (reg *Register[V]) finishWrite(ctx *nvm.Ctx, pid, mtoggle int, ann *runtime
 	return spec.Ack                   // line 13 / 27
 }
 
-// ReadOp builds the recoverable Read operation instance for pid. Per the
+// ReadOp returns the recoverable Read operation instance for pid. Per the
 // paper, the recovery function re-invokes Read when no response was
 // persisted; it never returns fail (a read has no effect on the object).
+// Reads take no argument, so the whole Op is pre-built per process and the
+// crash-free read path allocates nothing.
 func (reg *Register[V]) ReadOp(pid int) runtime.Op[V] {
+	return reg.readOps[pid]
+}
+
+func (reg *Register[V]) makeReadOp(pid int) runtime.Op[V] {
 	ann := reg.rAnn[pid]
 	body := func(ctx *nvm.Ctx) V {
 		t := reg.r.Load(ctx)

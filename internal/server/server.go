@@ -18,6 +18,7 @@
 package server
 
 import (
+	"bufio"
 	"errors"
 	"net"
 	"sync"
@@ -198,38 +199,59 @@ func (srv *Server) acceptLoop(ln net.Listener) {
 // handleConn runs one connection: a HELLO attaching a session, then a
 // serial request loop. Protocol errors drop the connection; the session
 // (and its outcome window) survives for a future resume.
+//
+// Buffers are connection-owned and drawn from the shared frame pool:
+// frames are read into one grow-only buffer and replies are encoded into
+// one scratch buffer, so the steady-state framing path allocates nothing.
+// Replies go through a buffered writer that is flushed only when no
+// further pipelined request is already buffered, coalescing back-to-back
+// replies into a single Write on the connection.
 func (srv *Server) handleConn(conn net.Conn) {
 	defer srv.wg.Done()
 	defer conn.Close()
 
-	payload, err := ReadFrame(conn)
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+	readBuf := GetFrameBuf()
+	defer PutFrameBuf(readBuf)
+	scratch := GetFrameBuf()
+	defer PutFrameBuf(scratch)
+
+	payload, err := ReadFrameInto(br, readBuf)
 	if err != nil {
 		return
 	}
 	r := NewReader(payload)
 	if op := r.U8(); op != OpHello {
-		WriteFrame(conn, encodeErr(ErrBadRequest, "first frame must be HELLO"))
+		WriteFrame(bw, encodeErr(ErrBadRequest, "first frame must be HELLO"))
+		bw.Flush()
 		return
 	}
 	sid, flags := r.U64(), r.U8()
 	if r.Err || r.Rest() != 0 {
-		WriteFrame(conn, encodeErr(ErrBadRequest, "malformed HELLO"))
+		WriteFrame(bw, encodeErr(ErrBadRequest, "malformed HELLO"))
+		bw.Flush()
 		return
 	}
 	sess, gen, reply := srv.attach(conn, sid, flags)
-	if err := WriteFrame(conn, reply); err != nil || sess == nil {
+	if err := WriteFrame(bw, reply); err != nil || bw.Flush() != nil || sess == nil {
 		return
 	}
 	defer srv.detach(sess, gen)
 
 	for {
-		payload, err := ReadFrame(conn)
+		payload, err := ReadFrameInto(br, readBuf)
 		if err != nil {
 			return
 		}
-		reply, closing, fatal := srv.handle(sess, payload)
-		if err := WriteFrame(conn, reply); err != nil {
+		reply, closing, fatal := srv.handle(sess, payload, scratch)
+		if err := WriteFrame(bw, reply); err != nil {
 			return
+		}
+		if closing || fatal || br.Buffered() == 0 {
+			if err := bw.Flush(); err != nil {
+				return
+			}
 		}
 		if closing {
 			srv.endSession(sess)
@@ -264,10 +286,10 @@ func (srv *Server) attach(conn net.Conn, sid uint64, flags byte) (*session, uint
 		srv.nextSID++
 		sess := &session{
 			id: srv.nextSID, pid: pid, observer: observer,
-			conn: conn, gen: 1, cache: make(map[uint64][]byte),
+			conn: conn, gen: 1, cache: make(map[uint64][]byte, Window+1),
 		}
 		srv.sessions[sess.id] = sess
-		return sess, 1, encodeHelloOK(sess.id, pid, false)
+		return sess, 1, appendHelloOK(nil, sess.id, pid, false)
 	}
 
 	sess, ok := srv.sessions[sid]
@@ -283,7 +305,7 @@ func (srv *Server) attach(conn net.Conn, sid uint64, flags byte) (*session, uint
 	sess.gen++
 	gen := sess.gen
 	sess.mu.Unlock()
-	return sess, gen, encodeHelloOK(sess.id, sess.pid, true)
+	return sess, gen, appendHelloOK(nil, sess.id, sess.pid, true)
 }
 
 // detach clears the session's connection if this handler still owns it,
@@ -313,34 +335,49 @@ func (srv *Server) endSession(sess *session) {
 // classify-execute-record sequence is atomic per session, which is what
 // makes a re-issued request ID exactly-once even when a kicked half-dead
 // connection races its replacement over the same ID.
-func (srv *Server) handle(sess *session, payload []byte) (reply []byte, closing, fatal bool) {
+//
+// Fresh replies are encoded into *scratch (the connection's pooled buffer)
+// and remain valid until the next handle call; successful replies are
+// copied into the session's outcome window, recycling evicted entries.
+// Replayed replies alias the window entry itself.
+func (srv *Server) handle(sess *session, payload []byte, scratch *[]byte) (reply []byte, closing, fatal bool) {
 	r := NewReader(payload)
 	op := r.U8()
 	reqID := r.U64()
 	if r.Err || reqID == 0 {
-		return encodeErr(ErrBadRequest, "malformed request header"), false, true
+		return appendErr((*scratch)[:0], ErrBadRequest, "malformed request header"), false, true
 	}
 
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
 
 	if cached, class := sess.classify(reqID); class == idReplay {
-		return cached, false, false
+		// Copy into the connection scratch: the write to the socket happens
+		// after the session lock is released, and a racing replacement
+		// connection may recycle the window entry in the meantime.
+		reply = append((*scratch)[:0], cached...)
+		if cap(reply) > cap(*scratch) {
+			*scratch = reply
+		}
+		return reply, false, false
 	} else if class == idStale {
-		return encodeErr(ErrStaleRequest, "request ID fell out of the outcome window"), false, false
+		return appendErr((*scratch)[:0], ErrStaleRequest, "request ID fell out of the outcome window"), false, false
 	}
 
-	reply, closing, fatal = srv.execute(sess, op, r)
+	reply, closing, fatal = srv.execute(sess, op, r, (*scratch)[:0])
+	if cap(reply) > cap(*scratch) {
+		*scratch = reply // keep the grown buffer for the next frame
+	}
 	if !fatal && len(reply) > 0 && reply[0] == StatusOK && !closing {
 		sess.record(reqID, reply)
 	}
 	return reply, closing, fatal
 }
 
-// execute decodes the op-specific body and runs it as the session's
-// process. Called with the session lock held.
-func (srv *Server) execute(sess *session, op byte, r *Reader) (reply []byte, closing, fatal bool) {
-	bad := func(msg string) ([]byte, bool, bool) { return encodeErr(ErrBadRequest, msg), false, true }
+// execute decodes the op-specific body, runs it as the session's process
+// and appends the reply to dst. Called with the session lock held.
+func (srv *Server) execute(sess *session, op byte, r *Reader, dst []byte) (reply []byte, closing, fatal bool) {
+	bad := func(msg string) ([]byte, bool, bool) { return appendErr(dst, ErrBadRequest, msg), false, true }
 	data := func() bool { return !sess.observer } // data ops need a process slot
 
 	switch op {
@@ -351,7 +388,7 @@ func (srv *Server) execute(sess *session, op byte, r *Reader) (reply []byte, clo
 			return bad("malformed GET/DEL")
 		}
 		if !data() {
-			return encodeErr(ErrObserver, "data operation on observer session"), false, false
+			return appendErr(dst, ErrObserver, "data operation on observer session"), false, false
 		}
 		var out runtime.Outcome[int]
 		if op == OpGet {
@@ -359,7 +396,7 @@ func (srv *Server) execute(sess *session, op byte, r *Reader) (reply []byte, clo
 		} else {
 			out = srv.store.Del(sess.pid, key, planOf(plan)...)
 		}
-		return encodeOutcome(out), false, false
+		return appendOutcomeReply(dst, out), false, false
 
 	case OpPut:
 		plan := r.U32()
@@ -369,9 +406,9 @@ func (srv *Server) execute(sess *session, op byte, r *Reader) (reply []byte, clo
 			return bad("malformed PUT")
 		}
 		if !data() {
-			return encodeErr(ErrObserver, "data operation on observer session"), false, false
+			return appendErr(dst, ErrObserver, "data operation on observer session"), false, false
 		}
-		return encodeOutcome(srv.store.Put(sess.pid, key, val, planOf(plan)...)), false, false
+		return appendOutcomeReply(dst, srv.store.Put(sess.pid, key, val, planOf(plan)...)), false, false
 
 	case OpMGet:
 		n := int(r.U16())
@@ -386,9 +423,9 @@ func (srv *Server) execute(sess *session, op byte, r *Reader) (reply []byte, clo
 			return bad("malformed MGET")
 		}
 		if !data() {
-			return encodeErr(ErrObserver, "data operation on observer session"), false, false
+			return appendErr(dst, ErrObserver, "data operation on observer session"), false, false
 		}
-		return encodeOutcomes(srv.store.MultiGet(sess.pid, keys)), false, false
+		return appendOutcomesReply(dst, srv.store.MultiGet(sess.pid, keys)), false, false
 
 	case OpMPut:
 		n := int(r.U16())
@@ -404,9 +441,9 @@ func (srv *Server) execute(sess *session, op byte, r *Reader) (reply []byte, clo
 			return bad("malformed MPUT")
 		}
 		if !data() {
-			return encodeErr(ErrObserver, "data operation on observer session"), false, false
+			return appendErr(dst, ErrObserver, "data operation on observer session"), false, false
 		}
-		return encodeOutcomes(srv.store.MultiPut(sess.pid, entries)), false, false
+		return appendOutcomesReply(dst, srv.store.MultiPut(sess.pid, entries)), false, false
 
 	case OpCrash:
 		shard := r.U32()
@@ -418,21 +455,21 @@ func (srv *Server) execute(sess *session, op byte, r *Reader) (reply []byte, clo
 		} else if int(shard) < srv.store.NumShards() {
 			srv.store.CrashShard(int(shard))
 		} else {
-			return encodeErr(ErrBadRequest, "shard out of range"), false, false
+			return appendErr(dst, ErrBadRequest, "shard out of range"), false, false
 		}
-		return encodeAck(), false, false
+		return appendAck(dst), false, false
 
 	case OpStats:
 		if r.Err || r.Rest() != 0 {
 			return bad("malformed STATS")
 		}
-		return encodeStatsReply(srv.store.Snapshots()), false, false
+		return appendStatsReply(dst, srv.store.Snapshots()), false, false
 
 	case OpClose:
 		if r.Err || r.Rest() != 0 {
 			return bad("malformed CLOSE")
 		}
-		return encodeAck(), true, false
+		return appendAck(dst), true, false
 
 	default:
 		return bad("unknown opcode")

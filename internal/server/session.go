@@ -22,11 +22,12 @@ type session struct {
 	// sequence is what makes resumed requests exactly-once even when a
 	// kicked half-dead connection races its replacement.
 	mu         sync.Mutex
-	conn       net.Conn  // currently attached connection, nil when detached
-	gen        uint64    // bumped on every attach, so stale handlers detach as no-ops
-	detachedAt time.Time // when conn last became nil; zero while attached
-	maxID      uint64    // highest request ID ever executed
+	conn       net.Conn          // currently attached connection, nil when detached
+	gen        uint64            // bumped on every attach, so stale handlers detach as no-ops
+	detachedAt time.Time         // when conn last became nil; zero while attached
+	maxID      uint64            // highest request ID ever executed
 	cache      map[uint64][]byte // reqID → encoded reply, the persisted-outcome window
+	free       [][]byte          // evicted window entries, recycled by record
 }
 
 // lookup returns the cached reply for reqID and how the ID classifies:
@@ -50,14 +51,39 @@ func (s *session) classify(reqID uint64) (reply []byte, class idClass) {
 	return nil, idFresh
 }
 
-// record stores reqID's reply and evicts entries that fell out of the
-// window. Must be called with s.mu held.
+// record copies reply into the outcome window under reqID and evicts
+// entries that fell out of the window, keeping their buffers for reuse —
+// a session in steady state stops allocating window entries. Must be
+// called with s.mu held; reply may alias a caller-owned scratch buffer.
 func (s *session) record(reqID uint64, reply []byte) {
-	s.cache[reqID] = reply
+	s.cache[reqID] = append(s.take(len(reply)), reply...)
 	s.maxID = reqID
 	for id := range s.cache {
 		if id+Window <= reqID {
+			// Keep evicted buffers for reuse; the window bounds the live
+			// entries, so Window spares also bound the free list.
+			if len(s.free) < Window {
+				s.free = append(s.free, s.cache[id][:0])
+			}
 			delete(s.cache, id)
 		}
 	}
+}
+
+// take returns a recycled entry buffer with capacity for n bytes, or a
+// fresh one. Non-fitting spares stay in the list (replies of mixed sizes
+// would otherwise drain it); the chosen entry is swap-removed. Must be
+// called with s.mu held.
+func (s *session) take(n int) []byte {
+	for i := len(s.free) - 1; i >= 0; i-- {
+		if cap(s.free[i]) >= n {
+			buf := s.free[i]
+			last := len(s.free) - 1
+			s.free[i] = s.free[last]
+			s.free[last] = nil
+			s.free = s.free[:last]
+			return buf[:0]
+		}
+	}
+	return make([]byte, 0, n)
 }

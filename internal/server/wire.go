@@ -1,9 +1,11 @@
 package server
 
 import (
+	"bufio"
 	"encoding/binary"
 	"fmt"
 	"io"
+	"sync"
 
 	"detectable/internal/runtime"
 	"detectable/internal/shardkv"
@@ -68,8 +70,32 @@ const (
 // (pipelining); a resumed request older than the window is ErrStaleRequest.
 const Window = 32
 
-// WriteFrame writes one length-prefixed frame.
+// framePool recycles frame scratch buffers across connections and
+// sessions: each connection handler (and each client) checks one out for
+// its lifetime, encodes every outgoing frame into it, and returns it when
+// the connection ends — so steady-state framing allocates nothing.
+var framePool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 512)
+	return &b
+}}
+
+// GetFrameBuf checks a scratch buffer out of the shared frame pool.
+func GetFrameBuf() *[]byte { return framePool.Get().(*[]byte) }
+
+// PutFrameBuf returns a scratch buffer to the shared frame pool.
+func PutFrameBuf(b *[]byte) {
+	*b = (*b)[:0]
+	framePool.Put(b)
+}
+
+// WriteFrame writes one length-prefixed frame. The hot paths (server
+// handler, client call loop) write through WriteFrameBuffered instead:
+// passing a stack header array through the io.Writer interface makes it
+// escape and allocate per frame.
 func WriteFrame(w io.Writer, payload []byte) error {
+	if bw, ok := w.(*bufio.Writer); ok {
+		return WriteFrameBuffered(bw, payload)
+	}
 	if len(payload) > MaxFrame {
 		return fmt.Errorf("wire: frame of %d bytes exceeds MaxFrame", len(payload))
 	}
@@ -82,17 +108,54 @@ func WriteFrame(w io.Writer, payload []byte) error {
 	return err
 }
 
-// ReadFrame reads one length-prefixed frame.
+// WriteFrameBuffered writes one length-prefixed frame into bw without
+// allocating: the header bytes go through WriteByte (no slice crosses an
+// interface boundary), and header + payload coalesce with neighboring
+// frames into a single Write of the underlying connection at the next
+// Flush.
+func WriteFrameBuffered(bw *bufio.Writer, payload []byte) error {
+	if len(payload) > MaxFrame {
+		return fmt.Errorf("wire: frame of %d bytes exceeds MaxFrame", len(payload))
+	}
+	n := uint32(len(payload))
+	bw.WriteByte(byte(n >> 24))
+	bw.WriteByte(byte(n >> 16))
+	bw.WriteByte(byte(n >> 8))
+	if err := bw.WriteByte(byte(n)); err != nil {
+		return err
+	}
+	_, err := bw.Write(payload)
+	return err
+}
+
+// ReadFrame reads one length-prefixed frame into a fresh buffer.
 func ReadFrame(r io.Reader) ([]byte, error) {
-	var hdr [4]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+	var buf []byte
+	return ReadFrameInto(r, &buf)
+}
+
+// ReadFrameInto reads one length-prefixed frame into *buf, growing it only
+// when the frame exceeds its capacity — the session-owned, grow-only read
+// buffer of the hot path. The header is staged in the same buffer (a
+// stack array would escape through the io.Reader interface and allocate
+// per frame). The returned payload aliases *buf and is valid until the
+// next ReadFrameInto with the same buffer.
+func ReadFrameInto(r io.Reader, buf *[]byte) ([]byte, error) {
+	if cap(*buf) < 4 {
+		*buf = make([]byte, 0, 512)
+	}
+	hdr := (*buf)[:4]
+	if _, err := io.ReadFull(r, hdr); err != nil {
 		return nil, err
 	}
-	n := binary.BigEndian.Uint32(hdr[:])
+	n := binary.BigEndian.Uint32(hdr)
 	if n > MaxFrame {
 		return nil, fmt.Errorf("wire: frame of %d bytes exceeds MaxFrame", n)
 	}
-	payload := make([]byte, n)
+	if uint32(cap(*buf)) < n {
+		*buf = make([]byte, n)
+	}
+	payload := (*buf)[:n]
 	if _, err := io.ReadFull(r, payload); err != nil {
 		return nil, err
 	}
@@ -105,97 +168,148 @@ func appendKey(b []byte, key string) []byte {
 	return append(b, key...)
 }
 
-// EncodeHello encodes a session-open (session 0) or session-resume request.
-func EncodeHello(session uint64, flags byte) []byte {
-	b := []byte{OpHello}
-	b = binary.BigEndian.AppendUint64(b, session)
-	return append(b, flags)
+// The Append* request encoders append one encoded request to dst and
+// return the extended slice; callers on the hot path (internal/client)
+// reuse one per-session scratch buffer so encoding allocates nothing. The
+// Encode* forms allocate a fresh slice, for tests and one-shot tooling.
+
+// AppendHello appends a session-open (session 0) or session-resume request.
+func AppendHello(dst []byte, session uint64, flags byte) []byte {
+	dst = append(dst, OpHello)
+	dst = binary.BigEndian.AppendUint64(dst, session)
+	return append(dst, flags)
 }
 
-// EncodeGet / EncodeDel encode single-key reads and deletes; plan > 0
-// injects a server-side planned crash before that primitive step.
+// EncodeHello encodes a session-open (session 0) or session-resume request.
+func EncodeHello(session uint64, flags byte) []byte {
+	return AppendHello(nil, session, flags)
+}
+
+// AppendGet appends a single-key read; plan > 0 injects a server-side
+// planned crash before that primitive step.
+func AppendGet(dst []byte, reqID uint64, plan uint32, key string) []byte {
+	return appendKeyed(dst, OpGet, reqID, plan, key)
+}
+
+// EncodeGet encodes a single-key read.
 func EncodeGet(reqID uint64, plan uint32, key string) []byte {
-	return encodeKeyed(OpGet, reqID, plan, key)
+	return AppendGet(nil, reqID, plan, key)
+}
+
+// AppendDel appends a single-key delete.
+func AppendDel(dst []byte, reqID uint64, plan uint32, key string) []byte {
+	return appendKeyed(dst, OpDel, reqID, plan, key)
 }
 
 // EncodeDel encodes a single-key delete.
 func EncodeDel(reqID uint64, plan uint32, key string) []byte {
-	return encodeKeyed(OpDel, reqID, plan, key)
+	return AppendDel(nil, reqID, plan, key)
 }
 
-func encodeKeyed(op byte, reqID uint64, plan uint32, key string) []byte {
-	b := []byte{op}
-	b = binary.BigEndian.AppendUint64(b, reqID)
-	b = binary.BigEndian.AppendUint32(b, plan)
-	return appendKey(b, key)
+func appendKeyed(dst []byte, op byte, reqID uint64, plan uint32, key string) []byte {
+	dst = append(dst, op)
+	dst = binary.BigEndian.AppendUint64(dst, reqID)
+	dst = binary.BigEndian.AppendUint32(dst, plan)
+	return appendKey(dst, key)
+}
+
+// AppendPut appends a single-key write.
+func AppendPut(dst []byte, reqID uint64, plan uint32, key string, val int) []byte {
+	dst = appendKeyed(dst, OpPut, reqID, plan, key)
+	return binary.BigEndian.AppendUint64(dst, uint64(int64(val)))
 }
 
 // EncodePut encodes a single-key write.
 func EncodePut(reqID uint64, plan uint32, key string, val int) []byte {
-	b := encodeKeyed(OpPut, reqID, plan, key)
-	return binary.BigEndian.AppendUint64(b, uint64(int64(val)))
+	return AppendPut(nil, reqID, plan, key, val)
+}
+
+// AppendMGet appends a batched read.
+func AppendMGet(dst []byte, reqID uint64, keys []string) []byte {
+	dst = append(dst, OpMGet)
+	dst = binary.BigEndian.AppendUint64(dst, reqID)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(keys)))
+	for _, k := range keys {
+		dst = appendKey(dst, k)
+	}
+	return dst
 }
 
 // EncodeMGet encodes a batched read.
 func EncodeMGet(reqID uint64, keys []string) []byte {
-	b := []byte{OpMGet}
-	b = binary.BigEndian.AppendUint64(b, reqID)
-	b = binary.BigEndian.AppendUint16(b, uint16(len(keys)))
-	for _, k := range keys {
-		b = appendKey(b, k)
+	return AppendMGet(nil, reqID, keys)
+}
+
+// AppendMPut appends a batched write.
+func AppendMPut(dst []byte, reqID uint64, entries []shardkv.KV) []byte {
+	dst = append(dst, OpMPut)
+	dst = binary.BigEndian.AppendUint64(dst, reqID)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(entries)))
+	for _, e := range entries {
+		dst = appendKey(dst, e.Key)
+		dst = binary.BigEndian.AppendUint64(dst, uint64(int64(e.Val)))
 	}
-	return b
+	return dst
 }
 
 // EncodeMPut encodes a batched write.
 func EncodeMPut(reqID uint64, entries []shardkv.KV) []byte {
-	b := []byte{OpMPut}
-	b = binary.BigEndian.AppendUint64(b, reqID)
-	b = binary.BigEndian.AppendUint16(b, uint16(len(entries)))
-	for _, e := range entries {
-		b = appendKey(b, e.Key)
-		b = binary.BigEndian.AppendUint64(b, uint64(int64(e.Val)))
-	}
-	return b
+	return AppendMPut(nil, reqID, entries)
 }
 
-// EncodeCrash encodes a shard-crash injection (CrashAllShards = storm all).
+// AppendCrash appends a shard-crash injection (CrashAllShards = storm all).
+func AppendCrash(dst []byte, reqID uint64, shard uint32) []byte {
+	dst = append(dst, OpCrash)
+	dst = binary.BigEndian.AppendUint64(dst, reqID)
+	return binary.BigEndian.AppendUint32(dst, shard)
+}
+
+// EncodeCrash encodes a shard-crash injection.
 func EncodeCrash(reqID uint64, shard uint32) []byte {
-	b := []byte{OpCrash}
-	b = binary.BigEndian.AppendUint64(b, reqID)
-	return binary.BigEndian.AppendUint32(b, shard)
+	return AppendCrash(nil, reqID, shard)
+}
+
+// AppendStats appends a per-shard stats request.
+func AppendStats(dst []byte, reqID uint64) []byte {
+	dst = append(dst, OpStats)
+	return binary.BigEndian.AppendUint64(dst, reqID)
 }
 
 // EncodeStats encodes a per-shard stats request.
-func EncodeStats(reqID uint64) []byte {
-	b := []byte{OpStats}
-	return binary.BigEndian.AppendUint64(b, reqID)
+func EncodeStats(reqID uint64) []byte { return AppendStats(nil, reqID) }
+
+// AppendClose appends a session-close request.
+func AppendClose(dst []byte, reqID uint64) []byte {
+	dst = append(dst, OpClose)
+	return binary.BigEndian.AppendUint64(dst, reqID)
 }
 
 // EncodeClose encodes a session-close request.
-func EncodeClose(reqID uint64) []byte {
-	b := []byte{OpClose}
-	return binary.BigEndian.AppendUint64(b, reqID)
+func EncodeClose(reqID uint64) []byte { return AppendClose(nil, reqID) }
+
+// appendErr appends an error reply.
+func appendErr(dst []byte, code byte, msg string) []byte {
+	dst = append(dst, code)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(msg)))
+	return append(dst, msg...)
 }
 
-// encodeErr encodes an error reply.
+// encodeErr encodes an error reply into a fresh slice (cold paths only).
 func encodeErr(code byte, msg string) []byte {
-	b := []byte{code}
-	b = binary.BigEndian.AppendUint16(b, uint16(len(msg)))
-	return append(b, msg...)
+	return appendErr(nil, code, msg)
 }
 
-// encodeHelloOK encodes a successful HELLO reply: the session ID, the
+// appendHelloOK appends a successful HELLO reply: the session ID, the
 // leased pid (observer sessions report pid -1) and whether the session was
 // resumed rather than created.
-func encodeHelloOK(session uint64, pid int, resumed bool) []byte {
-	b := []byte{StatusOK}
-	b = binary.BigEndian.AppendUint64(b, session)
-	b = binary.BigEndian.AppendUint32(b, uint32(int32(pid)))
+func appendHelloOK(dst []byte, session uint64, pid int, resumed bool) []byte {
+	dst = append(dst, StatusOK)
+	dst = binary.BigEndian.AppendUint64(dst, session)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(int32(pid)))
 	if resumed {
-		return append(b, 1)
+		return append(dst, 1)
 	}
-	return append(b, 0)
+	return append(dst, 0)
 }
 
 // appendOutcome appends one detectable outcome: verdict byte (the
@@ -206,38 +320,39 @@ func appendOutcome(b []byte, out runtime.Outcome[int]) []byte {
 	return binary.BigEndian.AppendUint32(b, uint32(out.Crashes))
 }
 
-// encodeOutcome encodes a single-operation reply.
-func encodeOutcome(out runtime.Outcome[int]) []byte {
-	return appendOutcome([]byte{StatusOK}, out)
+// appendOutcomeReply appends a single-operation success reply.
+func appendOutcomeReply(dst []byte, out runtime.Outcome[int]) []byte {
+	return appendOutcome(append(dst, StatusOK), out)
 }
 
-// encodeOutcomes encodes a batched reply, aligned with the request.
-func encodeOutcomes(outs []runtime.Outcome[int]) []byte {
-	b := []byte{StatusOK}
-	b = binary.BigEndian.AppendUint16(b, uint16(len(outs)))
+// appendOutcomesReply appends a batched success reply, aligned with the
+// request.
+func appendOutcomesReply(dst []byte, outs []runtime.Outcome[int]) []byte {
+	dst = append(dst, StatusOK)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(outs)))
 	for _, o := range outs {
-		b = appendOutcome(b, o)
+		dst = appendOutcome(dst, o)
 	}
-	return b
+	return dst
 }
 
-// encodeAck encodes a body-less success reply (CRASH, CLOSE).
-func encodeAck() []byte { return []byte{StatusOK} }
+// appendAck appends a body-less success reply (CRASH, CLOSE).
+func appendAck(dst []byte) []byte { return append(dst, StatusOK) }
 
-// encodeStatsReply encodes one snapshot per shard.
-func encodeStatsReply(snaps []shardkv.StatsSnapshot) []byte {
-	b := []byte{StatusOK}
-	b = binary.BigEndian.AppendUint16(b, uint16(len(snaps)))
+// appendStatsReply appends one snapshot per shard.
+func appendStatsReply(dst []byte, snaps []shardkv.StatsSnapshot) []byte {
+	dst = append(dst, StatusOK)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(snaps)))
 	for _, s := range snaps {
-		for _, v := range []uint64{
+		for _, v := range [...]uint64{
 			s.Gets, s.Puts, s.Dels,
 			s.OK, s.Recovered, s.Failed, s.NotInvoked,
 			s.CrashesSeen, s.CrashesInjected, s.Retries,
 		} {
-			b = binary.BigEndian.AppendUint64(b, v)
+			dst = binary.BigEndian.AppendUint64(dst, v)
 		}
 	}
-	return b
+	return dst
 }
 
 // Reader is a cursor over a frame payload. Reads past the end set Err and

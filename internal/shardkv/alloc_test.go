@@ -1,0 +1,41 @@
+package shardkv
+
+import "testing"
+
+// The allocation pins of the hot-path overhaul: crash-free operations on
+// the atomic fast path must not allocate. These are the same promises
+// cmd/benchjson -check enforces in CI; a failure here means a change
+// reintroduced per-op allocation (an escaping closure, a fresh Ctx, an
+// unbounded history append, …).
+
+func TestAllocPinCrashFreeGet(t *testing.T) {
+	s := New(4, 2)
+	s.PutRetry(0, "pin-key", 7)
+	if allocs := testing.AllocsPerRun(500, func() {
+		s.Get(0, "pin-key")
+	}); allocs != 0 {
+		t.Fatalf("crash-free Get allocates %v/op, want 0", allocs)
+	}
+}
+
+func TestAllocPinCrashFreeGetRetry(t *testing.T) {
+	s := New(4, 2)
+	s.PutRetry(0, "pin-key", 7)
+	if allocs := testing.AllocsPerRun(500, func() {
+		s.GetRetry(0, "pin-key")
+	}); allocs != 0 {
+		t.Fatalf("crash-free GetRetry allocates %v/op, want 0", allocs)
+	}
+}
+
+// A crash-free Put allocates at most the abstract operation's argument
+// list for the history record — one slice.
+func TestAllocPinCrashFreePut(t *testing.T) {
+	s := New(4, 2)
+	s.PutRetry(0, "pin-key", 7)
+	if allocs := testing.AllocsPerRun(500, func() {
+		s.Put(0, "pin-key", 7)
+	}); allocs > 1 {
+		t.Fatalf("crash-free Put allocates %v/op, want ≤ 1", allocs)
+	}
+}

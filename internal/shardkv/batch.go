@@ -1,6 +1,9 @@
 package shardkv
 
 import (
+	"sync"
+	"sync/atomic"
+
 	"detectable/internal/nvm"
 	"detectable/internal/runtime"
 )
@@ -20,67 +23,149 @@ type ShardPlans map[int]nvm.CrashPlan
 
 // MultiGet reads every key as process pid and returns the per-key
 // detectable outcomes, aligned with keys. The batch is grouped by shard:
-// all keys of one shard are served in one contiguous run before the next
-// shard is visited, so a crash plan routed to one shard (or a concurrent
-// CrashShard) interrupts only that group.
+// all keys of one shard are served sequentially by one worker, and groups
+// of distinct shards run concurrently (bounded by the Parallel option), so
+// a batch touching S shards costs roughly the slowest shard's latency
+// rather than the sum. A crash plan routed to one shard (or a concurrent
+// CrashShard) interrupts only that shard's group.
 func (s *Store) MultiGet(pid int, keys []string, plans ...ShardPlans) []runtime.Outcome[int] {
 	out := make([]runtime.Outcome[int], len(keys))
-	for sh, idxs := range s.groupKeys(keys) {
-		plan := planFor(plans, sh)
-		shd := s.shards[sh]
-		for _, i := range idxs {
-			out[i] = shd.get(pid, keys[i], plan)
+	s.fanOut(s.groupKeys(keys), plans, func(g group, plan nvm.CrashPlan) {
+		shd := s.shards[g.shard]
+		for _, i := range g.idxs {
+			if plan == nil {
+				out[i] = shd.get(pid, keys[i])
+			} else {
+				out[i] = shd.get(pid, keys[i], plan)
+			}
 		}
-	}
+	})
 	return out
 }
 
 // MultiPut writes every entry as process pid and returns the per-entry
-// detectable outcomes, aligned with entries. Grouping and crash routing
-// follow MultiGet.
+// detectable outcomes, aligned with entries. Grouping, fan-out and crash
+// routing follow MultiGet.
 func (s *Store) MultiPut(pid int, entries []KV, plans ...ShardPlans) []runtime.Outcome[int] {
-	keys := make([]string, len(entries))
-	for i, e := range entries {
-		keys[i] = e.Key
-	}
 	out := make([]runtime.Outcome[int], len(entries))
-	for sh, idxs := range s.groupKeys(keys) {
-		plan := planFor(plans, sh)
-		shd := s.shards[sh]
-		for _, i := range idxs {
-			out[i] = shd.put(pid, entries[i].Key, entries[i].Val, plan)
+	s.fanOut(s.groupEntries(entries), plans, func(g group, plan nvm.CrashPlan) {
+		shd := s.shards[g.shard]
+		for _, i := range g.idxs {
+			if plan == nil {
+				out[i] = shd.put(pid, entries[i].Key, entries[i].Val)
+			} else {
+				out[i] = shd.put(pid, entries[i].Key, entries[i].Val, plan)
+			}
 		}
-	}
+	})
 	return out
 }
 
 // MultiPutRetry writes every entry with NRL always-succeeds semantics and
 // returns the total number of invocations spent (len(entries) when no
-// retry was needed).
+// retry was needed). Shard groups fan out like MultiPut.
 func (s *Store) MultiPutRetry(pid int, entries []KV) int {
-	keys := make([]string, len(entries))
-	for i, e := range entries {
-		keys[i] = e.Key
-	}
-	total := 0
-	for sh, idxs := range s.groupKeys(keys) {
-		shd := s.shards[sh]
-		for _, i := range idxs {
-			total += shd.putRetry(pid, entries[i].Key, entries[i].Val)
+	var total atomic.Int64
+	s.fanOut(s.groupEntries(entries), nil, func(g group, _ nvm.CrashPlan) {
+		shd := s.shards[g.shard]
+		n := 0
+		for _, i := range g.idxs {
+			n += shd.putRetry(pid, entries[i].Key, entries[i].Val)
 		}
-	}
-	return total
+		total.Add(int64(n))
+	})
+	return int(total.Load())
 }
 
-// groupKeys buckets key indices by serving shard, preserving input order
-// within each bucket.
-func (s *Store) groupKeys(keys []string) map[int][]int {
-	groups := make(map[int][]int)
-	for i, k := range keys {
-		sh := s.ShardFor(k)
-		groups[sh] = append(groups[sh], i)
+// group is one shard's slice of a batch: the indices of the batch entries
+// routed to it, in input order.
+type group struct {
+	shard int
+	idxs  []int
+}
+
+// groupKeys buckets key indices by serving shard with a counting sort over
+// two flat arrays — no per-shard map or slice-append churn.
+func (s *Store) groupKeys(keys []string) []group {
+	return s.groupBy(len(keys), func(i int) int { return s.ShardFor(keys[i]) })
+}
+
+func (s *Store) groupEntries(entries []KV) []group {
+	return s.groupBy(len(entries), func(i int) int { return s.ShardFor(entries[i].Key) })
+}
+
+func (s *Store) groupBy(n int, shardOf func(int) int) []group {
+	if n == 0 {
+		return nil
+	}
+	nShards := len(s.shards)
+	routed := make([]int, n) // shard of each entry, hashed once
+	counts := make([]int, nShards)
+	for i := 0; i < n; i++ {
+		sh := shardOf(i)
+		routed[i] = sh
+		counts[sh]++
+	}
+	// Prefix sums turn counts into bucket offsets into one flat index array.
+	idxs := make([]int, n)
+	next := make([]int, nShards)
+	sum := 0
+	nonEmpty := 0
+	for sh := 0; sh < nShards; sh++ {
+		next[sh] = sum
+		sum += counts[sh]
+		if counts[sh] > 0 {
+			nonEmpty++
+		}
+	}
+	for i := 0; i < n; i++ {
+		sh := routed[i]
+		idxs[next[sh]] = i
+		next[sh]++
+	}
+	groups := make([]group, 0, nonEmpty)
+	for sh := 0; sh < nShards; sh++ {
+		if counts[sh] > 0 {
+			groups = append(groups, group{shard: sh, idxs: idxs[next[sh]-counts[sh] : next[sh]]})
+		}
 	}
 	return groups
+}
+
+// fanOut runs fn once per shard group. Groups run concurrently on up to
+// s.parallel worker goroutines; within a group operations stay sequential,
+// so each shard sees at most one in-flight operation per batch — the
+// per-process serialization rule of the model, kept per shard system.
+func (s *Store) fanOut(groups []group, plans []ShardPlans, fn func(group, nvm.CrashPlan)) {
+	if len(groups) == 0 {
+		return
+	}
+	workers := s.parallel
+	if workers > len(groups) {
+		workers = len(groups)
+	}
+	if workers <= 1 || len(groups) == 1 {
+		for _, g := range groups {
+			fn(g, planFor(plans, g.shard))
+		}
+		return
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				g := int(cursor.Add(1)) - 1
+				if g >= len(groups) {
+					return
+				}
+				fn(groups[g], planFor(plans, groups[g].shard))
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // planFor resolves the crash plan routed to shard. At most one ShardPlans

@@ -19,12 +19,58 @@
 package shardkv
 
 import (
+	goruntime "runtime"
 	"sort"
 
+	"detectable/internal/history"
 	"detectable/internal/kv"
 	"detectable/internal/nvm"
 	"detectable/internal/runtime"
 )
+
+// DefaultRingCapacity is the per-shard history ring size production stores
+// keep for diagnostics. Each shard is an independent system, so the ring
+// holds the last events of that shard only.
+const DefaultRingCapacity = 4096
+
+// Option configures a Store at allocation time.
+type Option func(*options)
+
+type options struct {
+	historyMode history.Mode
+	historyCap  int
+	parallel    int
+}
+
+// HistoryMode overrides the per-shard history retention. Production stores
+// default to a bounded ring (history.ModeRing, DefaultRingCapacity events
+// per shard) so the log never serializes or grows without bound;
+// verification harnesses pass history.ModeFull to keep complete logs for
+// the durable-linearizability checker, and benchmark floors may pass
+// history.ModeOff. capacity is the ring size (ignored for the other
+// modes; 0 means DefaultRingCapacity).
+func HistoryMode(m history.Mode, capacity int) Option {
+	return func(o *options) {
+		o.historyMode = m
+		if capacity > 0 {
+			o.historyCap = capacity
+		}
+	}
+}
+
+// Parallel bounds the number of per-shard worker goroutines one batched
+// call (MultiGet/MultiPut/MultiPutRetry) may fan out to. The default is
+// GOMAXPROCS; 1 serializes batches shard-by-shard as before. Parallelism
+// never splits one shard's group: a batch runs at most one goroutine per
+// shard, preserving the one-operation-at-a-time-per-process rule inside
+// each shard's system.
+func Parallel(n int) Option {
+	return func(o *options) {
+		if n >= 1 {
+			o.parallel = n
+		}
+	}
+}
 
 // shard is one independent failure domain: a private system plus the
 // detectable kv store allocated in it.
@@ -82,25 +128,40 @@ func (sh *shard) delRetry(pid int, key string) int {
 // concurrently on any mix of shards; a single process must not run two
 // operations concurrently (the usual per-process rule of the model).
 type Store struct {
-	shards []*shard
-	procs  int
-	slots  *slotPool
+	shards   []*shard
+	procs    int
+	slots    *slotPool
+	parallel int
 }
 
 // New allocates a store of shards independent partitions, each a fresh
 // runtime.System of procs processes under the private-cache model.
-func New(shards, procs int) *Store {
-	return NewModel(shards, procs, nvm.ModelPrivateCache)
+func New(shards, procs int, opts ...Option) *Store {
+	return NewModel(shards, procs, nvm.ModelPrivateCache, opts...)
 }
 
 // NewModel is New with an explicit memory model for every shard's space.
-func NewModel(shards, procs int, m nvm.Model) *Store {
+func NewModel(shards, procs int, m nvm.Model, opts ...Option) *Store {
 	if shards < 1 {
 		panic("shardkv: need at least one shard")
 	}
-	s := &Store{procs: procs, slots: newSlotPool(procs)}
+	o := options{
+		historyMode: history.ModeRing,
+		historyCap:  DefaultRingCapacity,
+		parallel:    goruntime.GOMAXPROCS(0),
+	}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	s := &Store{procs: procs, slots: newSlotPool(procs), parallel: o.parallel}
 	for i := 0; i < shards; i++ {
 		sys := runtime.NewSystemModel(procs, m)
+		switch o.historyMode {
+		case history.ModeRing:
+			sys.SetHistory(history.NewRing(o.historyCap))
+		case history.ModeOff:
+			sys.SetHistory(history.NewOff())
+		}
 		s.shards = append(s.shards, &shard{sys: sys, store: kv.New(sys)})
 	}
 	return s

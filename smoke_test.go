@@ -29,6 +29,7 @@ func TestMainsSmoke(t *testing.T) {
 		{"kvserverd", []string{"run", "./cmd/kvserverd", "-addr", "127.0.0.1:0", "-shards", "2", "-procs", "2", "-dur", "300ms"}},
 		{"kvbench", []string{"run", "./cmd/kvbench", "-selftest", "-shards", "2", "-conns", "1,2", "-dur", "150ms", "-keys", "32"}},
 		{"loadgen-remote", []string{"run", "./cmd/loadgen", "-remote", "self", "-mix", "crash-storm", "-procs", "2", "-shards", "2", "-keys", "8", "-dur", "300ms"}},
+		{"benchjson-gate", []string{"run", "./cmd/benchjson", "-checkonly"}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
