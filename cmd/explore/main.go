@@ -1,0 +1,181 @@
+// Command explore runs the deterministic schedule explorer
+// (internal/explore) over the repository's detectable objects: it
+// enumerates process interleavings at shared-memory-primitive granularity,
+// crossed with system-wide crash points, and checks every execution's
+// history for durable linearizability with detectability accounting.
+//
+// Budgeted exploration over every object (the CI configuration):
+//
+//	explore -objects all -procs 2 -ops 2 -crashes 1 -preempt 2 -budget 60s -trace-dir traces
+//
+// A found violation is written to <trace-dir>/<object>.trace.json and the
+// command exits non-zero. Replaying a recorded trace:
+//
+//	explore -replay traces/rcas.trace.json
+//
+// prints the replayed history, the detectability report and the verdict,
+// and exits non-zero if the violation reproduces — so a committed trace
+// doubles as a regression test.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"detectable/internal/explore"
+)
+
+func main() {
+	var (
+		objects  = flag.String("objects", "all", "comma-separated harness names ('all' = every registered object; see -list)")
+		list     = flag.Bool("list", false, "list the registered harnesses and exit")
+		procs    = flag.Int("procs", 2, "processes per explored execution")
+		ops      = flag.Int("ops", 2, "operations per process")
+		crashes  = flag.Int("crashes", 1, "per-execution budget of injected system-wide crashes")
+		preempt  = flag.Int("preempt", 2, "preemption bound for iterative deepening (-1 = deepen until exhausted)")
+		execs    = flag.Int("execs", 0, "cap on executions per object (0 = unlimited)")
+		budget   = flag.Duration("budget", 30*time.Second, "total wall-clock budget, split evenly across objects (0 = unlimited)")
+		traceDir = flag.String("trace-dir", "", "directory to write counterexample traces into (created if missing)")
+		replay   = flag.String("replay", "", "replay the trace in this JSON file instead of exploring")
+		verbose  = flag.Bool("v", false, "per-object statistics")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, h := range explore.Harnesses() {
+			fmt.Println(h.Name)
+		}
+		return
+	}
+	if *replay != "" {
+		os.Exit(replayFile(*replay))
+	}
+
+	var hs []explore.Harness
+	if *objects == "all" {
+		hs = explore.Harnesses()
+	} else {
+		for _, name := range strings.Split(*objects, ",") {
+			h, err := explore.ByName(strings.TrimSpace(name))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			hs = append(hs, h)
+		}
+	}
+	deadline := time.Time{}
+	if *budget > 0 {
+		deadline = time.Now().Add(*budget)
+	}
+
+	fmt.Printf("explore: %d object(s), %d procs x %d ops, <=%d crash(es), preemption bound %d, %v total\n",
+		len(hs), *procs, *ops, *crashes, *preempt, *budget)
+
+	failed := false
+	for i, h := range hs {
+		// Split the remaining budget over the remaining objects, so time a
+		// fast-exhausting object leaves unused flows to the deeper ones.
+		perObject := time.Duration(0)
+		if !deadline.IsZero() {
+			perObject = time.Until(deadline) / time.Duration(len(hs)-i)
+			if perObject <= 0 {
+				perObject = time.Millisecond // expired: 0 would mean unlimited
+			}
+		}
+		prog := h.DefaultProgram(*procs, *ops)
+		res := explore.Run(h, prog, explore.Options{
+			MaxCrashes:     *crashes,
+			MaxPreemptions: *preempt,
+			MaxExecutions:  *execs,
+			Budget:         perObject,
+		})
+		status := "ok"
+		switch {
+		case res.Err != nil:
+			status = "ERROR"
+		case res.Counterexample != nil:
+			status = "VIOLATION"
+		case res.Exhausted:
+			status = "ok (exhausted)"
+		case res.Complete:
+			status = fmt.Sprintf("ok (complete at bound %d)", res.Stats.Bound)
+		default:
+			status = fmt.Sprintf("ok (budget stop at bound %d)", res.Stats.Bound)
+		}
+		fmt.Printf("%-8s %9d execs  %7.3fs  %s\n", h.Name, res.Stats.Executions, res.Elapsed.Seconds(), status)
+		if *verbose {
+			fmt.Printf("         passes=%d cutoffs=%d sleep-skips=%d preempt-skips=%d\n",
+				res.Stats.Passes, res.Stats.Cutoffs, res.Stats.SleepSkips, res.Stats.PreemptSkips)
+		}
+		if res.Err != nil {
+			fmt.Fprintf(os.Stderr, "explore: %s: %v\n", h.Name, res.Err)
+			failed = true
+		}
+		if cx := res.Counterexample; cx != nil {
+			failed = true
+			fmt.Fprintf(os.Stderr, "explore: %s: durable-linearizability violation\n  %s\n", h.Name, cx)
+			if *traceDir != "" {
+				if path, err := writeTrace(*traceDir, h.Name, cx); err != nil {
+					fmt.Fprintf(os.Stderr, "explore: writing trace: %v\n", err)
+				} else {
+					fmt.Fprintf(os.Stderr, "  trace written to %s (replay with: explore -replay %s)\n", path, path)
+				}
+			}
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// writeTrace stores a counterexample as JSON under dir.
+func writeTrace(dir, object string, cx *explore.Trace) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	b, err := cx.Marshal()
+	if err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, object+".trace.json")
+	return path, os.WriteFile(path, b, 0o644)
+}
+
+// replayFile re-executes a recorded trace and reports the verdict. Exit
+// status: 0 when the history is linearizable, 1 when the violation
+// reproduces, 2 on malformed input.
+func replayFile(path string) int {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	t, err := explore.UnmarshalTrace(b)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	fmt.Printf("replaying %s\n", t)
+	rr, err := explore.Replay(t)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	fmt.Println("history:")
+	for i, e := range rr.Events {
+		fmt.Printf("%4d %s\n", i, e)
+	}
+	fmt.Printf("report: completed=%d recovered=%d failed=%d pending=%d crashes=%d\n",
+		rr.Report.Completed, rr.Report.Recovered, rr.Report.Failed, rr.Report.Pending, rr.Report.Crashes)
+	if rr.Linearizable {
+		fmt.Println("verdict: durably linearizable (no violation)")
+		return 0
+	}
+	fmt.Println("verdict: NOT durably linearizable — violation reproduced")
+	return 1
+}

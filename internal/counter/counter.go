@@ -52,6 +52,24 @@ func (c *Counter) Inc(pid int, plans ...nvm.CrashPlan) int {
 	}
 }
 
+// IncArmed is Inc with plan armed on every Execute of the retry loop — the
+// reads, the CAS attempts and all of their recovery re-entries — so a
+// controlled scheduler (internal/explore) observes every primitive of the
+// composed operation. It returns the new value.
+func (c *Counter) IncArmed(pid int, plan nvm.CrashPlan) int {
+	for {
+		rd := runtime.ExecuteArmed(c.sys, pid, c.cas.ReadOp(pid), plan)
+		if !rd.Status.Linearized() {
+			continue
+		}
+		cur := rd.Resp
+		out := runtime.ExecuteArmed(c.sys, pid, c.cas.CasOp(pid, cur, cur+1), plan)
+		if out.Status.Linearized() && out.Resp {
+			return cur + 1
+		}
+	}
+}
+
 // Value returns the counter's current value as observed by pid.
 func (c *Counter) Value(pid int) int { return c.read(pid) }
 

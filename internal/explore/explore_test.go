@@ -1,0 +1,229 @@
+package explore_test
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"detectable/internal/explore"
+	"detectable/internal/spec"
+)
+
+// safety nets so a regression cannot wedge CI; the asserted bounds complete
+// in well under these.
+const (
+	testBudget = 3 * time.Minute
+	testExecs  = 2_000_000
+)
+
+// TestBoundedComplete verifies every core object at the PR's stated bound:
+// 2 processes × 2 operations each, every crash point (crash budget 1,
+// including crashes during recovery re-entries of the interrupted attempt),
+// and every schedule with at most 1 preemption — executed literally, since
+// finite-bound searches forgo sleep-set pruning. The search must complete
+// (not stop on budget), find no counterexample, and report no
+// infrastructure error.
+func TestBoundedComplete(t *testing.T) {
+	for _, h := range explore.Harnesses() {
+		t.Run(h.Name, func(t *testing.T) {
+			prog := h.DefaultProgram(2, 2)
+			res := explore.Run(h, prog, explore.Options{
+				MaxCrashes:     1,
+				MaxPreemptions: 1,
+				MaxExecutions:  testExecs,
+				Budget:         testBudget,
+			})
+			if res.Err != nil {
+				t.Fatalf("explorer error: %v", res.Err)
+			}
+			if res.Counterexample != nil {
+				t.Fatalf("unexpected counterexample:\n%s", res.Counterexample)
+			}
+			if !res.Complete {
+				t.Fatalf("search stopped before completing the bound: %+v", res.Stats)
+			}
+			t.Logf("%d executions (%d cutoffs, %d sleep skips) in %v",
+				res.Stats.Executions, res.Stats.Cutoffs, res.Stats.SleepSkips, res.Elapsed)
+		})
+	}
+}
+
+// TestExhaustiveCrashFree fully exhausts the crash-free schedule space of a
+// 2×1 program for every object: iterative deepening runs until a round
+// prunes nothing on the preemption bound, so every interleaving has been
+// explored up to Mazurkiewicz equivalence.
+func TestExhaustiveCrashFree(t *testing.T) {
+	for _, h := range explore.Harnesses() {
+		t.Run(h.Name, func(t *testing.T) {
+			// The counter's inc expands to a read/CAS retry loop, so its
+			// schedule space keeps deepening well past where the others
+			// exhaust; cap it at bound 3 and assert completeness there
+			// (full exhaustion for it is a cmd/explore -preempt -1 job).
+			maxPreempt := -1
+			if h.Name == "counter" {
+				maxPreempt = 3
+			}
+			prog := h.DefaultProgram(2, 1)
+			res := explore.Run(h, prog, explore.Options{
+				MaxCrashes:     0,
+				MaxPreemptions: maxPreempt,
+				MaxExecutions:  testExecs,
+				Budget:         testBudget,
+			})
+			if res.Err != nil {
+				t.Fatalf("explorer error: %v", res.Err)
+			}
+			if res.Counterexample != nil {
+				t.Fatalf("unexpected counterexample:\n%s", res.Counterexample)
+			}
+			if !res.Complete {
+				t.Fatalf("search did not complete: %+v", res.Stats)
+			}
+			if maxPreempt < 0 && !res.Exhausted {
+				t.Fatalf("space not exhausted: %+v", res.Stats)
+			}
+			t.Logf("explored to preemption bound %d after %d executions in %v (exhausted=%v)",
+				res.Stats.Bound, res.Stats.Executions, res.Elapsed, res.Exhausted)
+		})
+	}
+}
+
+// TestSoloCrashSweep exhausts a single-process program under a crash budget
+// of 2: every placement of up to two crashes across the operation bodies
+// AND their recovery re-entries (a crash during recovery forces a second
+// re-entry, the paper's "recover as many times as crashes interrupt it").
+func TestSoloCrashSweep(t *testing.T) {
+	for _, h := range explore.Harnesses() {
+		t.Run(h.Name, func(t *testing.T) {
+			prog := h.DefaultProgram(1, 2)
+			res := explore.Run(h, prog, explore.Options{
+				MaxCrashes:     2,
+				MaxPreemptions: -1,
+				MaxExecutions:  testExecs,
+				Budget:         testBudget,
+			})
+			if res.Err != nil {
+				t.Fatalf("explorer error: %v", res.Err)
+			}
+			if res.Counterexample != nil {
+				t.Fatalf("unexpected counterexample:\n%s", res.Counterexample)
+			}
+			if !res.Exhausted {
+				t.Fatalf("space not exhausted: %+v", res.Stats)
+			}
+			t.Logf("exhausted after %d executions in %v", res.Stats.Executions, res.Elapsed)
+		})
+	}
+}
+
+// TestReplayDeterminism re-executes the same trace twice and demands
+// event-identical histories: an execution is a function of its decisions.
+func TestReplayDeterminism(t *testing.T) {
+	h, err := explore.ByName("rw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := explore.Trace{
+		Object:  "rw",
+		Procs:   2,
+		Program: h.DefaultProgram(2, 2),
+		// An empty decision list replays under the deterministic default
+		// policy; the point is that two replays agree event-for-event.
+	}
+	a, err := explore.Replay(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := explore.Replay(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Events, b.Events) {
+		t.Fatalf("replays diverged:\n%v\nvs\n%v", a.Events, b.Events)
+	}
+	if !a.Linearizable || !b.Linearizable {
+		t.Fatalf("default-policy replay not linearizable: %+v", a.Report)
+	}
+}
+
+// TestTraceRoundTrip pins the JSON trace format: marshal, unmarshal, replay.
+func TestTraceRoundTrip(t *testing.T) {
+	h, err := explore.ByName("queue")
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := explore.Trace{
+		Object:  "queue",
+		Procs:   2,
+		Program: h.DefaultProgram(2, 2),
+		Note:    "round-trip fixture",
+	}
+	b, err := trace.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := explore.UnmarshalTrace(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(trace, back) {
+		t.Fatalf("round trip changed the trace:\n%+v\nvs\n%+v", trace, back)
+	}
+	if _, err := explore.Replay(back); err != nil {
+		t.Fatalf("replaying round-tripped trace: %v", err)
+	}
+}
+
+// TestReplayRejectsBadTraces: decisions naming unknown processes or unknown
+// objects are errors, not crashes.
+func TestReplayRejectsBadTraces(t *testing.T) {
+	if _, err := explore.Replay(explore.Trace{Object: "no-such-object", Procs: 1, Program: explore.Program{nil}}); err == nil {
+		t.Fatal("unknown object accepted")
+	}
+	h, _ := explore.ByName("rw")
+	bad := explore.Trace{
+		Object:    "rw",
+		Procs:     1,
+		Program:   h.DefaultProgram(1, 1),
+		Decisions: []explore.Decision{{Pid: 7}},
+	}
+	if _, err := explore.Replay(bad); err == nil {
+		t.Fatal("decision for unparked process accepted")
+	}
+}
+
+// TestProgramShapes sanity-checks the default program generators.
+func TestProgramShapes(t *testing.T) {
+	for _, h := range explore.Harnesses() {
+		prog := h.DefaultProgram(3, 2)
+		if len(prog) != 3 {
+			t.Fatalf("%s: %d procs", h.Name, len(prog))
+		}
+		if prog.NumOps() != 6 {
+			t.Fatalf("%s: %d ops", h.Name, prog.NumOps())
+		}
+		for _, ops := range prog {
+			for _, op := range ops {
+				if op.Method == "" {
+					t.Fatalf("%s: empty method", h.Name)
+				}
+			}
+		}
+	}
+}
+
+// TestRunRejectsOversizedPrograms: histories beyond the checker's 63-op
+// limit surface as a configuration error, not a panic.
+func TestRunRejectsOversizedPrograms(t *testing.T) {
+	h, _ := explore.ByName("rw")
+	big := make(explore.Program, 2)
+	for p := range big {
+		for k := 0; k < 40; k++ {
+			big[p] = append(big[p], spec.NewOp(spec.MethodWrite, k+1))
+		}
+	}
+	res := explore.Run(h, big, explore.Options{MaxPreemptions: 0, MaxExecutions: 4})
+	if res.Err == nil {
+		t.Fatal("expected an oversized-program error")
+	}
+}

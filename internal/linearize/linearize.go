@@ -28,6 +28,11 @@ import (
 	"detectable/internal/spec"
 )
 
+// MaxOps is the largest history the linearization search accepts: the
+// memoized done-set is a 64-bit mask with one bit reserved. Callers with
+// longer histories must segment them.
+const MaxOps = 63
+
 // OpRecord is one operation extracted from a history log.
 type OpRecord struct {
 	// PID is the invoking process.
@@ -159,8 +164,8 @@ func Check(obj spec.Object, recs []OpRecord) bool {
 // Explain is Check plus a witness: when the records are linearizable it
 // returns the operations in linearization order.
 func Explain(obj spec.Object, recs []OpRecord) (bool, []OpRecord) {
-	if len(recs) > 63 {
-		panic(fmt.Sprintf("linearize: %d operations exceed the 63-op search limit; segment the history", len(recs)))
+	if len(recs) > MaxOps {
+		panic(fmt.Sprintf("linearize: %d operations exceed the %d-op search limit; segment the history", len(recs), MaxOps))
 	}
 	mandatory := uint64(0)
 	for i, r := range recs {
@@ -174,6 +179,23 @@ func Explain(obj spec.Object, recs []OpRecord) (bool, []OpRecord) {
 		return true, witness
 	}
 	return false, nil
+}
+
+// ExplainEvents is Collect followed by Explain over an already-snapshotted
+// event slice: it returns the verdict, a sequential witness when one
+// exists, and the detectability report. Histories beyond the 63-op search
+// limit are reported as an error rather than a panic, so bounded explorers
+// (internal/explore) can surface them as configuration mistakes.
+func ExplainEvents(obj spec.Object, events []history.Event) (ok bool, witness []OpRecord, rep Report, err error) {
+	recs, rep, err := Collect(events)
+	if err != nil {
+		return false, nil, rep, err
+	}
+	if len(recs) > MaxOps {
+		return false, nil, rep, fmt.Errorf("linearize: %d operations exceed the %d-op search limit; segment the history", len(recs), MaxOps)
+	}
+	ok, witness = Explain(obj, recs)
+	return ok, witness, rep, nil
 }
 
 // CheckLog is a convenience wrapper: Collect followed by Check.

@@ -27,13 +27,13 @@ type CachedCell[T comparable] struct {
 	cached    word[T]
 	persisted T // guarded by mu (exclusive)
 	dirty     atomic.Bool
+	id        int
 }
 
 // NewCachedCell allocates a shared-cache cell holding init inside sp and
 // registers it for crash handling.
 func NewCachedCell[T comparable](sp *Space, init T) *CachedCell[T] {
-	c := &CachedCell[T]{persisted: init, cached: newWordStorage(init)}
-	sp.noteCell()
+	c := &CachedCell[T]{persisted: init, cached: newWordStorage(init), id: sp.noteCell()}
 	sp.register(c)
 	return c
 }
@@ -43,7 +43,7 @@ var _ crashable = (*CachedCell[int])(nil)
 
 // Load atomically reads the cached value.
 func (c *CachedCell[T]) Load(ctx *Ctx) T {
-	ctx.pre(KindLoad)
+	ctx.pre(KindLoad, c.id)
 	if ctx.fast() {
 		c.mu.RLock()
 		if !ctx.alive() {
@@ -64,7 +64,7 @@ func (c *CachedCell[T]) Load(ctx *Ctx) T {
 // Store atomically writes the cached value. The store is volatile until the
 // cell is flushed.
 func (c *CachedCell[T]) Store(ctx *Ctx, v T) {
-	ctx.pre(KindStore)
+	ctx.pre(KindStore, c.id)
 	if ctx.fast() {
 		c.mu.RLock()
 		if !ctx.alive() {
@@ -88,7 +88,7 @@ func (c *CachedCell[T]) Store(ctx *Ctx, v T) {
 // old, reporting whether the swap happened. Like Store, the effect is
 // volatile until flushed.
 func (c *CachedCell[T]) CompareAndSwap(ctx *Ctx, old, new T) bool {
-	ctx.pre(KindCAS)
+	ctx.pre(KindCAS, c.id)
 	if ctx.fast() {
 		c.mu.RLock()
 		if !ctx.alive() {
@@ -115,7 +115,7 @@ func (c *CachedCell[T]) CompareAndSwap(ctx *Ctx, old, new T) bool {
 
 // Flush persists the cached value to NVM.
 func (c *CachedCell[T]) Flush(ctx *Ctx) {
-	ctx.pre(KindFlush)
+	ctx.pre(KindFlush, c.id)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	ctx.enter(KindFlush)

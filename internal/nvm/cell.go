@@ -70,21 +70,20 @@ func NewWord[T comparable](sp *Space, init T) CASRegister[T] {
 type Cell[T comparable] struct {
 	mu sync.Mutex
 	w  word[T]
+	id int
 }
 
 // NewCell allocates a cell holding init inside sp. The Space records the
 // allocation for space accounting; Cells need no crash handling.
 func NewCell[T comparable](sp *Space, init T) *Cell[T] {
-	c := &Cell[T]{w: newWordStorage(init)}
-	sp.noteCell()
-	return c
+	return &Cell[T]{w: newWordStorage(init), id: sp.noteCell()}
 }
 
 var _ CASRegister[int] = (*Cell[int])(nil)
 
 // Load atomically reads the cell.
 func (c *Cell[T]) Load(ctx *Ctx) T {
-	ctx.pre(KindLoad)
+	ctx.pre(KindLoad, c.id)
 	if ctx.fast() {
 		v := c.w.load()
 		ctx.count(KindLoad)
@@ -99,7 +98,7 @@ func (c *Cell[T]) Load(ctx *Ctx) T {
 // Store atomically writes the cell. In the private-cache model the value is
 // persisted immediately.
 func (c *Cell[T]) Store(ctx *Ctx, v T) {
-	ctx.pre(KindStore)
+	ctx.pre(KindStore, c.id)
 	if ctx.fast() {
 		c.w.store(v)
 		ctx.count(KindStore)
@@ -114,7 +113,7 @@ func (c *Cell[T]) Store(ctx *Ctx, v T) {
 // CompareAndSwap atomically replaces the cell's value with new if it equals
 // old, reporting whether the swap happened.
 func (c *Cell[T]) CompareAndSwap(ctx *Ctx, old, new T) bool {
-	ctx.pre(KindCAS)
+	ctx.pre(KindCAS, c.id)
 	if ctx.fast() {
 		ok := c.w.cas(old, new)
 		ctx.count(KindCAS)

@@ -20,6 +20,7 @@ type Ctx struct {
 	stats *Stats
 
 	steps uint64
+	cell  int
 }
 
 // NewCtx returns a context for one attempt by process pid, bound to the
@@ -38,18 +39,27 @@ func (c *Ctx) StartEpoch() uint64 { return c.start }
 // this context.
 func (c *Ctx) Steps() uint64 { return c.steps }
 
+// CellID identifies the memory cell the pending primitive targets: the
+// space-local allocation index of the Cell or CachedCell, set immediately
+// before the crash plan is consulted. Schedule explorers use it to decide
+// whether two processes' pending primitives commute (disjoint cells, or two
+// loads of the same cell). It is 0 outside a CrashPlan.CrashBefore call.
+func (c *Ctx) CellID() int { return c.cell }
+
 // pre runs the bookkeeping that precedes every primitive while NO cell lock
 // is held: it advances the step counter, consults the crash plan (whose
 // hooks may run arbitrary code, including other processes' operations — the
 // deterministic-interleaving mechanism used by schedule-driven tests) and
 // fails fast on a stale epoch.
-func (c *Ctx) pre(kind OpKind) {
+func (c *Ctx) pre(kind OpKind, cell int) {
 	c.steps++
+	c.cell = cell
 	if c.plan != nil && c.plan.CrashBefore(c, kind) {
 		// A planned system-wide crash: advance the epoch so every other
 		// in-flight operation dies at its next primitive, then die here.
 		c.epoch.Advance()
 	}
+	c.cell = 0
 	c.CheckAlive()
 }
 

@@ -93,7 +93,7 @@ var ctxPool = sync.Pool{New: func() any { return new(Ctx) }}
 // attempt has completed and the context can no longer be referenced.
 func (s *Space) AcquireCtx(pid int, plan CrashPlan) *Ctx {
 	c := ctxPool.Get().(*Ctx)
-	c.pid, c.epoch, c.start, c.plan, c.stats, c.steps = pid, &s.epoch, s.epoch.Current(), plan, &s.stats, 0
+	c.pid, c.epoch, c.start, c.plan, c.stats, c.steps, c.cell = pid, &s.epoch, s.epoch.Current(), plan, &s.stats, 0, 0
 	return c
 }
 
@@ -135,8 +135,11 @@ func (s *Space) register(c crashable) {
 	s.crashables = append(s.crashables, c)
 }
 
-func (s *Space) noteCell() {
+// noteCell records a cell allocation and returns its space-local identity
+// (1-based), which Ctx.CellID exposes to schedule explorers.
+func (s *Space) noteCell() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.cells++
+	return s.cells
 }

@@ -184,7 +184,9 @@ func (q *Queue) DeqOp(pid int) runtime.Op[int] {
 					q.tail.CompareAndSwap(ctx, last, next) // help
 					continue
 				}
-				q.deqTarget[pid].Store(ctx, next) // persist the target
+				if mutant != MutantDropDeqTargetPersist {
+					q.deqTarget[pid].Store(ctx, next) // persist the target
+				}
 				ann.SetCP(ctx, 1)
 				if next.deqBy.CompareAndSwap(ctx, claim{}, claim{Set: true, P: pid, Seq: myseq}) {
 					q.head.CompareAndSwap(ctx, first, next)

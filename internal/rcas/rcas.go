@@ -142,9 +142,11 @@ func (o *CAS[V]) makeCasBody(pid int) func(*nvm.Ctx) bool {
 			ann.SetResult(ctx, false) // line 30
 			return false              // line 31
 		}
-		newvec := cur.Vec ^ 1<<uint(pid)                                    // line 32: flip vec[p]
-		o.rd[pid].Store(ctx, newvec>>uint(pid)&1 == 1)                      // line 33
-		ann.SetCP(ctx, 1)                                                   // line 34
+		newvec := cur.Vec ^ 1<<uint(pid) // line 32: flip vec[p]
+		if mutant != MutantDropRDPersist {
+			o.rd[pid].Store(ctx, newvec>>uint(pid)&1 == 1) // line 33
+		}
+		ann.SetCP(ctx, 1) // line 34
 		res := o.c.CompareAndSwap(ctx, cur, Pair[V]{Val: new, Vec: newvec}) // line 35
 		ann.SetResult(ctx, res)                                             // line 36
 		return res                                                          // line 37

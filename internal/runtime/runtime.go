@@ -153,6 +153,24 @@ func (s *System) Crash() {
 // entries mean no planned crash (crashes from other processes still
 // interrupt the attempt).
 func Execute[R comparable](s *System, pid int, op Op[R], plans ...nvm.CrashPlan) Outcome[R] {
+	return execute(s, pid, op, plans, nil)
+}
+
+// ExecuteArmed runs op as process pid with plan armed on every attempt: the
+// announcement+body attempt and every recovery re-entry, however many
+// crashes interrupt it. Controlled-scheduler harnesses (internal/explore)
+// use it so that every primitive of every attempt consults the plan — an
+// attempt with a nil plan would take the lock-free fast path and become
+// invisible to the scheduler.
+func ExecuteArmed[R comparable](s *System, pid int, op Op[R], plan nvm.CrashPlan) Outcome[R] {
+	return execute(s, pid, op, nil, plan)
+}
+
+// execute is the shared core of Execute and ExecuteArmed. Exactly one of
+// plans/every is non-nil-ish: per-attempt plans, or one plan for all
+// attempts. Passing both as parameters (rather than a plan-picking closure)
+// keeps the crash-free Execute path allocation-free.
+func execute[R comparable](s *System, pid int, op Op[R], plans []nvm.CrashPlan, every nvm.CrashPlan) Outcome[R] {
 	if op.Encode == nil {
 		// Capture only the description: closing over op itself would force
 		// the whole Op (and its closures) to escape on every call.
@@ -160,7 +178,7 @@ func Execute[R comparable](s *System, pid int, op Op[R], plans ...nvm.CrashPlan)
 		op.Encode = func(R) int { panic(fmt.Sprintf("runtime: op %s has no response encoder", desc)) }
 	}
 
-	ctx := s.space.AcquireCtx(pid, planAt(plans, 0))
+	ctx := s.space.AcquireCtx(pid, planAt(plans, 0, every))
 	defer s.space.ReleaseCtx(ctx)
 
 	// Phase 1: caller-side announcement (auxiliary state).
@@ -186,7 +204,7 @@ func Execute[R comparable](s *System, pid int, op Op[R], plans ...nvm.CrashPlan)
 	}
 	crashes := 1
 	for attempt := 1; ; attempt++ {
-		rctx := s.space.AcquireCtx(pid, planAt(plans, attempt))
+		rctx := s.space.AcquireCtx(pid, planAt(plans, attempt, every))
 		var (
 			r  R
 			ok bool
@@ -240,7 +258,10 @@ func runPhase(f func()) (crashed bool) {
 	return false
 }
 
-func planAt(plans []nvm.CrashPlan, i int) nvm.CrashPlan {
+func planAt(plans []nvm.CrashPlan, i int, every nvm.CrashPlan) nvm.CrashPlan {
+	if every != nil {
+		return every
+	}
 	if i < len(plans) {
 		return plans[i]
 	}

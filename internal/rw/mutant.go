@@ -1,0 +1,26 @@
+package rw
+
+// Mutant selects a seeded detectability bug. The mutation smoke-check in
+// internal/explore enables one, asserts the schedule explorer produces a
+// counterexample, and restores MutantNone — validating that the checker
+// catches real protocol violations. Production code never sets a mutant.
+type Mutant int
+
+// Seeded bugs.
+const (
+	// MutantNone is the unmutated algorithm.
+	MutantNone Mutant = iota
+	// MutantSkipToggleClear skips line 2's clearing of the last writer's
+	// other-array toggle bit. That bit is the register's ABA protection:
+	// without the clear, a recovery that observes R unchanged can find a
+	// stale raised bit and wrongly conclude its write was linearized —
+	// claiming Ack for a write that never reached R.
+	MutantSkipToggleClear
+)
+
+// mutant is read on the operation path; it is written only by tests, before
+// any operation runs (the write happens-before the goroutines that read it).
+var mutant Mutant
+
+// SetMutant installs m until the next call. Tests must restore MutantNone.
+func SetMutant(m Mutant) { mutant = m }

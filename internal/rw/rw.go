@@ -159,10 +159,12 @@ func (reg *Register[V]) makeWriteAnnounce(pid int) func(*nvm.Ctx) {
 func (reg *Register[V]) makeWriteBody(pid int) func(*nvm.Ctx) int {
 	ann := reg.wAnn[pid]
 	return func(ctx *nvm.Ctx) int {
-		val := reg.wVals[pid]                         // the staged argument
-		t := reg.r.Load(ctx)                          // line 1
-		reg.a[pid][t.Q][1-t.Toggle].Store(ctx, false) // line 2
-		mtoggle := reg.tp[pid].Load(ctx)              // line 3
+		val := reg.wVals[pid] // the staged argument
+		t := reg.r.Load(ctx)  // line 1
+		if mutant != MutantSkipToggleClear {
+			reg.a[pid][t.Q][1-t.Toggle].Store(ctx, false) // line 2
+		}
+		mtoggle := reg.tp[pid].Load(ctx) // line 3
 		reg.rd[pid].Store(ctx, recoveryData[V]{       // line 4
 			MToggle: mtoggle, QVal: t.Val, Q: t.Q, QToggle: t.Toggle,
 		})

@@ -30,6 +30,8 @@ func TestMainsSmoke(t *testing.T) {
 		{"kvbench", []string{"run", "./cmd/kvbench", "-selftest", "-shards", "2", "-conns", "1,2", "-dur", "150ms", "-keys", "32"}},
 		{"loadgen-remote", []string{"run", "./cmd/loadgen", "-remote", "self", "-mix", "crash-storm", "-procs", "2", "-shards", "2", "-keys", "8", "-dur", "300ms"}},
 		{"benchjson-gate", []string{"run", "./cmd/benchjson", "-checkonly"}},
+		{"explore", []string{"run", "./cmd/explore", "-objects", "rcas,maxreg", "-procs", "2", "-ops", "1", "-crashes", "1", "-preempt", "1", "-budget", "10s"}},
+		{"explore-list", []string{"run", "./cmd/explore", "-list"}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
