@@ -4,9 +4,19 @@
 // and a client that reconnects after a dropped connection can re-issue its
 // in-flight request ID and receive the original detectable verdict.
 //
+// With -data the daemon is durable (docs/DURABILITY.md): every shard's
+// linearized mutations and every session's outcome window are journaled to
+// CRC-framed record logs under the data directory, fsynced before verdicts
+// are released. On startup the daemon recovers all shards and session
+// windows from disk (truncating torn or corrupted log tails to the last
+// valid prefix), so even a SIGKILL of the whole process preserves
+// exactly-once detectability: a resumed client still receives the original
+// verdict. The directory's geometry manifest is enforced — reopening with
+// different -shards/-procs is refused.
+//
 // Usage:
 //
-//	kvserverd [-addr :7070] [-shards 4] [-procs 8] [-dur 0] [-v]
+//	kvserverd [-addr :7070] [-shards 4] [-procs 8] [-data dir] [-dur 0] [-v]
 //
 // -dur 0 serves until SIGINT/SIGTERM; a positive duration serves for that
 // long and exits (used by smoke tests). On shutdown the daemon prints the
@@ -21,6 +31,7 @@ import (
 	"syscall"
 	"time"
 
+	"detectable/internal/durable"
 	"detectable/internal/server"
 	"detectable/internal/shardkv"
 )
@@ -29,25 +40,49 @@ func main() {
 	addr := flag.String("addr", ":7070", "TCP listen address")
 	shards := flag.Int("shards", 4, "number of independent shards")
 	procs := flag.Int("procs", 8, "process slots (max concurrent non-observer sessions)")
+	data := flag.String("data", "", "durable data directory (empty = in-memory only; state dies with the process)")
 	dur := flag.Duration("dur", 0, "serve duration (0 = until SIGINT/SIGTERM)")
 	verbose := flag.Bool("v", false, "print the per-shard breakdown on shutdown")
 	flag.Parse()
-	if err := run(*addr, *shards, *procs, *dur, *verbose); err != nil {
+	if err := run(*addr, *shards, *procs, *data, *dur, *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, "kvserverd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, shards, procs int, dur time.Duration, verbose bool) error {
+func run(addr string, shards, procs int, data string, dur time.Duration, verbose bool) error {
 	if shards < 1 || procs < 1 {
 		return fmt.Errorf("need shards ≥ 1 and procs ≥ 1 (got shards=%d procs=%d)", shards, procs)
 	}
-	store := shardkv.New(shards, procs)
+
+	var (
+		db  *durable.DB
+		err error
+	)
+	opts := []shardkv.Option{}
+	if data != "" {
+		if db, err = durable.Open(data, shards, procs, server.Window); err != nil {
+			return err
+		}
+		defer db.Close()
+		opts = append(opts, shardkv.Durable(db))
+	}
+	store := shardkv.New(shards, procs, opts...)
 	srv := server.New(store)
+	if db != nil {
+		if err := srv.AttachDurable(db); err != nil {
+			return err
+		}
+		keys := 0
+		for i := 0; i < shards; i++ {
+			db.RangeShard(i, func(string, int64) { keys++ })
+		}
+		fmt.Printf("kvserverd: recovered data=%s keys=%d sessions=%d\n", data, keys, srv.Sessions())
+	}
 	if err := srv.Listen(addr); err != nil {
 		return err
 	}
-	fmt.Printf("kvserverd: serving addr=%s shards=%d procs=%d\n", srv.Addr(), shards, procs)
+	fmt.Printf("kvserverd: serving addr=%s shards=%d procs=%d durable=%v\n", srv.Addr(), shards, procs, db != nil)
 
 	if dur > 0 {
 		time.Sleep(dur)
@@ -59,6 +94,11 @@ func run(addr string, shards, procs int, dur time.Duration, verbose bool) error 
 	}
 	if err := srv.Close(); err != nil {
 		return err
+	}
+	if db != nil {
+		if err := db.Sync(); err != nil {
+			return err
+		}
 	}
 
 	t := store.TotalStats()

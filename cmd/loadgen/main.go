@@ -75,11 +75,21 @@ func main() {
 	seed := flag.Int64("seed", 1, "randomness seed")
 	verbose := flag.Bool("v", false, "print the per-shard breakdown")
 	remote := flag.String("remote", "", "drive a kvserverd at host:port instead of the in-process store (\"self\" starts one on a loopback port)")
+	restartStorm := flag.Bool("restart-storm", false, "whole-process crash mode: spawn a durable kvserverd (-server-bin, -data) and SIGKILL/restart it mid-workload")
+	serverBin := flag.String("server-bin", "", "kvserverd binary for -restart-storm")
+	dataDir := flag.String("data", "", "durable data directory for -restart-storm (empty = fresh temp dir)")
+	restarts := flag.Int("restarts", 5, "minimum SIGKILL/restart cycles for -restart-storm")
+	restartEvery := flag.Duration("restart-every", 700*time.Millisecond, "delay between SIGKILLs for -restart-storm")
 	flag.Parse()
 	var err error
-	if *remote != "" {
+	switch {
+	case *restartStorm && *remote != "":
+		err = fmt.Errorf("-restart-storm spawns its own server; drop -remote")
+	case *restartStorm:
+		err = runRestartStorm(*serverBin, *dataDir, *mix, *procs, *shards, *keys, *dur, *seed, *restarts, *restartEvery, *verbose)
+	case *remote != "":
 		err = runRemote(*remote, *mix, *procs, *shards, *keys, *dur, *seed, *verbose)
-	} else {
+	default:
 		err = run(*mix, *procs, *shards, *keys, *dur, *seed, *verbose)
 	}
 	if err != nil {

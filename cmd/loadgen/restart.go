@@ -1,0 +1,289 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"os/exec"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"detectable/internal/client"
+	"detectable/internal/runtime"
+)
+
+// runRestartStorm is the whole-process crash mode: it launches a real
+// kvserverd binary with a durable -data directory, drives the usual
+// per-process expected-value workload over TCP, and meanwhile repeatedly
+// SIGKILLs the server and restarts it from the same directory. Workers ride
+// the kills on the client's session-resume path: after each restart they
+// reconnect, resume their (durably recovered) session and re-issue the
+// in-flight request ID — receiving the original persisted verdict when the
+// server had released one, or a fresh exactly-once execution when it had
+// not. The bar is unchanged from every other mix: zero detectability
+// violations, now across whole-process crash/restart boundaries.
+func runRestartStorm(bin, dataDir, mix string, procs, shards, keys int,
+	dur time.Duration, seed int64, restarts int, restartEvery time.Duration, verbose bool) error {
+	spec, ok := mixes[mix]
+	if !ok {
+		return fmt.Errorf("unknown mix %q (want read-heavy, write-heavy, mixed or crash-storm)", mix)
+	}
+	if procs < 1 || shards < 1 || keys < procs {
+		return fmt.Errorf("need procs ≥ 1, shards ≥ 1 and keys ≥ procs (got procs=%d shards=%d keys=%d)", procs, shards, keys)
+	}
+	if restarts < 1 {
+		return fmt.Errorf("need -restarts ≥ 1 (got %d)", restarts)
+	}
+	if bin == "" {
+		return fmt.Errorf("-restart-storm needs -server-bin pointing at a kvserverd binary (go build -o kvserverd ./cmd/kvserverd)")
+	}
+	if dataDir == "" {
+		d, err := os.MkdirTemp("", "restart-storm-data-")
+		if err != nil {
+			return err
+		}
+		dataDir = d
+	}
+	fmt.Printf("restart-storm: data=%s server=%s restarts≥%d every=%s\n", dataDir, bin, restarts, restartEvery)
+
+	addr, err := freeAddr()
+	if err != nil {
+		return err
+	}
+	args := []string{
+		"-addr", addr,
+		"-shards", strconv.Itoa(shards),
+		"-procs", strconv.Itoa(procs),
+		"-data", dataDir,
+	}
+	cmd, err := startServer(bin, args)
+	if err != nil {
+		return err
+	}
+	if err := waitUp(addr, 10*time.Second); err != nil {
+		stopServer(cmd)
+		return fmt.Errorf("server never came up: %w", err)
+	}
+
+	// Workers: one durable session each, redial policy sized to out-wait a
+	// full kill+restart cycle.
+	clients := make([]*client.Client, procs)
+	for p := range clients {
+		if clients[p], err = client.Dial(addr); err != nil {
+			stopServer(cmd)
+			return fmt.Errorf("dial worker %d: %w", p, err)
+		}
+		clients[p].SetRedialPolicy(300, 100*time.Millisecond)
+	}
+
+	var (
+		violations, indefinite atomic.Uint64
+		cycles                 atomic.Uint64
+		stop                   = make(chan struct{})
+		stormErr               error
+	)
+	start := time.Now()
+	deadline := start.Add(dur)
+
+	// The storm: SIGKILL the server mid-workload, restart it from the same
+	// data directory, wait for it to accept again. The loop keeps killing
+	// until both the duration has elapsed and the minimum cycle count is
+	// met, so short -dur values still deliver the contracted restarts.
+	var storm sync.WaitGroup
+	storm.Add(1)
+	go func() {
+		defer storm.Done()
+		defer close(stop)
+		for {
+			time.Sleep(restartEvery)
+			if time.Now().After(deadline) && int(cycles.Load()) >= restarts {
+				return
+			}
+			cmd.Process.Kill() // SIGKILL: no shutdown path runs, fsynced state only
+			cmd.Wait()         //nolint:errcheck // killed on purpose
+			next, err := startServer(bin, args)
+			if err != nil {
+				stormErr = fmt.Errorf("restart %d: %w", cycles.Load()+1, err)
+				return
+			}
+			cmd = next
+			if err := waitUp(addr, 15*time.Second); err != nil {
+				stormErr = fmt.Errorf("restart %d: server never came back: %w", cycles.Load()+1, err)
+				return
+			}
+			cycles.Add(1)
+		}
+	}()
+
+	hardErrs := make([]error, procs)
+	expected := make([]map[string]int, procs)
+	var totalOps atomic.Uint64
+	var wg sync.WaitGroup
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			c := clients[pid]
+			rng := rand.New(rand.NewSource(seed + int64(pid)*1001))
+			own := ownKeys(pid, procs, keys)
+			exp := make(map[string]int)
+			defer func() { expected[pid] = exp }()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				key := own[rng.Intn(len(own))]
+				var plan []uint32
+				if spec.planEvery > 0 && rng.Intn(spec.planEvery) == 0 {
+					plan = []uint32{uint32(1 + rng.Intn(14))}
+				}
+				if spec.killEvery > 0 && rng.Intn(spec.killEvery) == 0 {
+					if rng.Intn(2) == 0 {
+						c.KillAfterNextSend()
+					} else {
+						c.KillConn()
+					}
+				}
+				var (
+					out runtime.Outcome[int]
+					err error
+				)
+				switch r := rng.Intn(100); {
+				case r < spec.getPct:
+					if out, err = c.Get(key, plan...); err == nil {
+						if out.Status.Linearized() && out.Resp != exp[key] {
+							violations.Add(1)
+						}
+					}
+				case r < spec.getPct+spec.putPct:
+					val := pid*1_000_000 + i
+					if out, err = c.Put(key, val, plan...); err == nil {
+						apply(out, key, val, exp, &violations, &indefinite)
+					}
+				default:
+					if out, err = c.Del(key, plan...); err == nil {
+						apply(out, key, 0, exp, &violations, &indefinite)
+					}
+				}
+				if err != nil {
+					hardErrs[pid] = err
+					return
+				}
+				totalOps.Add(1)
+			}
+		}(p)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	storm.Wait()
+
+	defer func() { stopServer(cmd) }() // cmd is the final incarnation by now
+	for pid, err := range hardErrs {
+		if err != nil {
+			return fmt.Errorf("worker %d: %w", pid, err)
+		}
+	}
+	if stormErr != nil {
+		return stormErr
+	}
+
+	// Final sweep over the final server incarnation: the durably recovered
+	// store must match every owner's expectation exactly, SIGKILLs included.
+	for pid, exp := range expected {
+		for _, key := range ownKeys(pid, procs, keys) {
+			got, err := clients[pid].GetRetry(key)
+			if err != nil {
+				return fmt.Errorf("sweep worker %d: %w", pid, err)
+			}
+			if got != exp[key] {
+				violations.Add(1)
+			}
+		}
+	}
+	var resumes uint64
+	for _, c := range clients {
+		resumes += c.Resumes()
+		c.Close() //nolint:errcheck
+	}
+
+	fmt.Printf("restart-storm: mix=%s procs=%d shards=%d elapsed=%s\n", mix, procs, shards, elapsed.Round(time.Millisecond))
+	fmt.Printf("aggregate: %d ops (%.0f ops/sec) across %d SIGKILL/restart cycles, %d session resumes\n",
+		totalOps.Load(), float64(totalOps.Load())/elapsed.Seconds(), cycles.Load(), resumes)
+	if verbose {
+		fmt.Printf("data dir: %s (kept for inspection)\n", dataDir)
+	}
+	if int(cycles.Load()) < restarts {
+		return fmt.Errorf("only %d restart cycles completed (wanted ≥ %d)", cycles.Load(), restarts)
+	}
+	if n := indefinite.Load(); n > 0 {
+		return fmt.Errorf("%d operations ended without a definite outcome", n)
+	}
+	if n := violations.Load(); n > 0 {
+		return fmt.Errorf("%d detectability violations (lost or duplicated effects) across restarts", n)
+	}
+	fmt.Println("detectability: every operation resolved to a definite outcome across whole-process restarts, zero violations")
+	return nil
+}
+
+// freeAddr reserves a loopback port by binding and immediately releasing
+// it, so every server incarnation listens on the same address.
+func freeAddr() (string, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr, nil
+}
+
+// startServer launches one kvserverd incarnation, inheriting stdout/stderr
+// so recovery lines land in the run's output.
+func startServer(bin string, args []string) (*exec.Cmd, error) {
+	cmd := exec.Command(bin, args...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	return cmd, nil
+}
+
+// stopServer shuts the final incarnation down cleanly (SIGTERM, then
+// SIGKILL if it lingers).
+func stopServer(cmd *exec.Cmd) {
+	if cmd == nil || cmd.Process == nil {
+		return
+	}
+	cmd.Process.Signal(syscall.SIGTERM) //nolint:errcheck
+	done := make(chan struct{})
+	go func() { cmd.Wait(); close(done) }() //nolint:errcheck
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		cmd.Process.Kill() //nolint:errcheck
+		<-done
+	}
+}
+
+// waitUp polls addr until a TCP connect succeeds.
+func waitUp(addr string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		conn, err := net.DialTimeout("tcp", addr, 250*time.Millisecond)
+		if err == nil {
+			conn.Close()
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return err
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

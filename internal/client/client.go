@@ -129,6 +129,20 @@ func (c *Client) connect() error {
 	return nil
 }
 
+// SetRedialPolicy overrides how hard a call tries to resume after a lost
+// connection: up to maxRedials reconnect attempts, wait apart. The default
+// (8 × 50ms) rides out connection kills; drivers that must survive a
+// whole-process server restart (loadgen -restart-storm) raise it to cover
+// the restart latency.
+func (c *Client) SetRedialPolicy(maxRedials int, wait time.Duration) {
+	if maxRedials > 0 {
+		c.maxRedials = maxRedials
+	}
+	if wait > 0 {
+		c.redialWait = wait
+	}
+}
+
 // SessionID returns the server-assigned session ID.
 func (c *Client) SessionID() uint64 { return c.session }
 

@@ -1,0 +1,11 @@
+//go:build !unix
+
+package durable
+
+import "os"
+
+// lockDir is a no-op where advisory flock is unavailable; single-writer
+// discipline is then the operator's responsibility.
+func lockDir(dir string) (*os.File, error) { return nil, nil }
+
+func unlockDir(f *os.File) {}

@@ -1,0 +1,35 @@
+//go:build unix
+
+package durable
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// lockDir takes an exclusive advisory flock on dir's LOCK file, refusing
+// when another live process holds it: two writers appending to the same
+// logs at independent offsets would corrupt each other's frames and a
+// later recovery would silently truncate released verdicts. The kernel
+// drops the lock when the holder dies (SIGKILL included), so a crashed
+// daemon never wedges its own restart.
+func lockDir(dir string) (*os.File, error) {
+	f, err := os.OpenFile(filepath.Join(dir, "LOCK"), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("durable: %s is locked by another process: %w", dir, err)
+	}
+	return f, nil
+}
+
+func unlockDir(f *os.File) {
+	if f != nil {
+		syscall.Flock(int(f.Fd()), syscall.LOCK_UN) //nolint:errcheck
+		f.Close()
+	}
+}

@@ -1,0 +1,307 @@
+// Package durable is the file-backed persistence substrate behind the
+// simulated NVM spaces: an on-disk data directory holding one append-only
+// CRC-framed record log (plus a periodically compacted snapshot) per shard
+// and one for the session layer, so that the paper's persist ordering maps
+// onto write+fsync ordering and the whole process — not just a simulated
+// epoch — can be killed and restarted without losing a single detectable
+// verdict.
+//
+// The layering is deliberate: internal/nvm defines the pluggable Backing
+// seam a Space forwards its logical persists through, this package supplies
+// the file-backed implementation, internal/shardkv journals every
+// linearized mutation through it, and internal/server makes each session's
+// request-ID→outcome window durable so a client that reconnects after a
+// whole-process crash still receives the original verdict. docs/DURABILITY.md
+// is the normative description of the format and the recovery procedure.
+package durable
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Record framing: every record in a log or snapshot file is
+//
+//	u32(len(payload)) u32(crc32c(payload)) payload
+//
+// with big-endian integers. A record whose length field runs past the end
+// of the file (a torn append) or whose CRC does not match (a corrupted
+// tail) ends the valid prefix: recovery keeps everything before it and
+// truncates the rest, exactly once, on open.
+const (
+	frameHeader = 8
+	// MaxRecord bounds one record's payload; a larger length field cannot
+	// come from a writer of this package and is treated as corruption.
+	MaxRecord = 1 << 24
+)
+
+// castagnoli is the CRC-32C table used for record checksums (the
+// polynomial NVM-adjacent storage systems conventionally use).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Log is one append-only CRC-framed record file. Appends are buffered by
+// the OS; Sync is the durability barrier. All methods are safe for
+// concurrent use; the mutex is held across fsync, so an Append that
+// completed before a Sync call began is durable when that Sync returns.
+type Log struct {
+	mu    sync.Mutex
+	f     *os.File
+	path  string
+	size  int64 // bytes of valid, framed records
+	dirty bool  // appended since the last Sync
+	enc   []byte
+}
+
+// OpenLog opens (creating if needed) the record log at path, replays every
+// valid record through fn in append order, truncates the file to the last
+// valid prefix (discarding a torn or corrupted tail), and returns the log
+// positioned for appending. A replay error aborts the open.
+func OpenLog(path string, fn func(rec []byte) error) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	l := &Log{f: f, path: path}
+	valid, err := scanRecords(f, fn)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if st.Size() > valid {
+		// Torn or corrupted tail: keep the last valid prefix, drop the rest.
+		if err := f.Truncate(valid); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	l.size = valid
+	return l, nil
+}
+
+// scanRecords reads framed records from the start of f, calling fn for
+// each valid one, and returns the byte offset of the end of the valid
+// prefix. Corruption (bad CRC, impossible length, short tail) is not an
+// error: it just ends the prefix.
+func scanRecords(f *os.File, fn func(rec []byte) error) (int64, error) {
+	data, err := readAll(f)
+	if err != nil {
+		return 0, err
+	}
+	var off int64
+	for {
+		rec, n := nextRecord(data[off:])
+		if n == 0 {
+			return off, nil
+		}
+		if fn != nil {
+			if err := fn(rec); err != nil {
+				return 0, fmt.Errorf("durable: replay %s at offset %d: %w", f.Name(), off, err)
+			}
+		}
+		off += n
+	}
+}
+
+// nextRecord decodes the first framed record in b, returning the payload
+// and the total framed size, or (nil, 0) when b starts with a torn,
+// corrupted or absent record.
+func nextRecord(b []byte) ([]byte, int64) {
+	if len(b) < frameHeader {
+		return nil, 0
+	}
+	n := binary.BigEndian.Uint32(b)
+	if n > MaxRecord || int64(len(b)) < frameHeader+int64(n) {
+		return nil, 0
+	}
+	want := binary.BigEndian.Uint32(b[4:])
+	payload := b[frameHeader : frameHeader+int(n)]
+	if crc32.Checksum(payload, castagnoli) != want {
+		return nil, 0
+	}
+	return payload, frameHeader + int64(n)
+}
+
+// readAll reads f from the start without moving its append position.
+func readAll(f *os.File) ([]byte, error) {
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	data := make([]byte, st.Size())
+	if _, err := f.ReadAt(data, 0); err != nil && err != io.EOF {
+		return nil, err
+	}
+	return data, nil
+}
+
+// Append frames payload and writes it at the end of the log. The record is
+// buffered until the next Sync; callers must not release an effect that
+// depends on it before that barrier.
+func (l *Log) Append(payload []byte) error {
+	if len(payload) > MaxRecord {
+		return fmt.Errorf("durable: record of %d bytes exceeds MaxRecord", len(payload))
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.enc = appendFrame(l.enc[:0], payload)
+	if _, err := l.f.WriteAt(l.enc, l.size); err != nil {
+		return err
+	}
+	l.size += int64(len(l.enc))
+	l.dirty = true
+	return nil
+}
+
+// appendFrame appends one framed record to dst.
+func appendFrame(dst, payload []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(payload)))
+	dst = binary.BigEndian.AppendUint32(dst, crc32.Checksum(payload, castagnoli))
+	return append(dst, payload...)
+}
+
+// Sync is the durability barrier: every Append that returned before Sync
+// was called is physically durable when it returns. A clean log (no
+// appends since the last barrier) syncs nothing.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.syncLocked()
+}
+
+func (l *Log) syncLocked() error {
+	if !l.dirty {
+		return nil
+	}
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	l.dirty = false
+	return nil
+}
+
+// Size returns the log's valid byte length.
+func (l *Log) Size() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.size
+}
+
+// Reset truncates the log to empty — the tail-discard half of a
+// compaction, called only after the compacted snapshot is durably in
+// place (a crash between the snapshot rename and this truncate merely
+// replays records the snapshot already contains).
+func (l *Log) Reset() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.f.Truncate(0); err != nil {
+		return err
+	}
+	l.size = 0
+	l.dirty = false
+	return l.f.Sync()
+}
+
+// Close syncs and closes the file.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.syncLocked(); err != nil {
+		l.f.Close()
+		return err
+	}
+	return l.f.Close()
+}
+
+// WriteSnapshot atomically replaces the snapshot at path with the framed
+// records produced by emit: records go to a temporary file, which is
+// synced, renamed over path, and the parent directory synced — so a crash
+// anywhere leaves either the old snapshot or the new one, never a mix.
+func WriteSnapshot(path string, emit func(append func(rec []byte) error) error) error {
+	return atomicReplace(path, func(f *os.File) error {
+		var enc []byte
+		return emit(func(rec []byte) error {
+			enc = appendFrame(enc[:0], rec)
+			_, err := f.Write(enc)
+			return err
+		})
+	})
+}
+
+// AtomicWriteFile atomically replaces path with data, fsyncing contents
+// before the rename and the directory after it (the MANIFEST writer).
+func AtomicWriteFile(path string, data []byte) error {
+	return atomicReplace(path, func(f *os.File) error {
+		_, err := f.Write(data)
+		return err
+	})
+}
+
+// atomicReplace is the shared crash-atomic replacement sequence: write a
+// temporary file via fill, fsync it, rename it over path, fsync the
+// parent directory. Contents are durable before the rename can be, so a
+// crash leaves either the complete old file or the complete new one.
+func atomicReplace(path string, fill func(f *os.File) error) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	werr := fill(f)
+	if werr == nil {
+		werr = f.Sync()
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp)
+		return werr
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(path)
+}
+
+// ReplaySnapshot streams the valid record prefix of the snapshot at path
+// through fn. A missing snapshot is not an error (no compaction has
+// happened yet); a truncated or corrupted one yields its valid prefix,
+// mirroring log recovery.
+func ReplaySnapshot(path string, fn func(rec []byte) error) error {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = scanRecords(f, fn)
+	return err
+}
+
+// syncDir fsyncs the directory containing path, making a just-renamed
+// file's directory entry durable.
+func syncDir(path string) error {
+	d, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

@@ -79,6 +79,21 @@ func (s *Store) GetArmed(pid int, key string, plan nvm.CrashPlan) runtime.Outcom
 	return runtime.ExecuteArmed(s.sys, pid, s.reg(key).ReadOp(pid), plan)
 }
 
+// Restore installs key with val as its register's initial state without
+// executing a recoverable operation: it is the recovery half of a durable
+// restart, where the recovered value plays the role a register's initial
+// value plays at allocation time (no primitives run, nothing is announced).
+// Restoring a key that already has a register panics — recovery must run
+// before the store serves operations.
+func (s *Store) Restore(key string, val int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.regs[key]; ok {
+		panic("kv: Restore of a key that already has a register")
+	}
+	s.regs[key] = rw.NewInt(s.sys, val)
+}
+
 // Keys returns the keys ever written, sorted, for tests and tooling.
 func (s *Store) Keys() []string {
 	s.mu.RLock()

@@ -1,0 +1,52 @@
+package nvm
+
+// Backing is the pluggable persistence substrate behind a Space. The
+// default heap-backed Space (no backing) persists only within the process:
+// cell values survive simulated epoch crashes but evaporate when the
+// process exits. A file-backed persistent space carries a Backing
+// (internal/durable supplies one per shard) that journals every logical
+// persist handed to it into an append-only record log whose Sync is a
+// physical fsync — so the paper's persist ordering maps onto write+sync
+// ordering, and a whole-process crash becomes one more survivable failure.
+//
+// The granularity is the durable root, not the individual simulated cell:
+// an algorithm's internal cells (toggle bits, announcement slots) exist to
+// make in-flight operations detectable, and a whole-process crash leaves no
+// in-flight operations to recover inside the space — the session layer
+// (internal/server) recovers those from its own durable outcome windows.
+// What must survive is the linearized state of each root, which the owning
+// layer journals via Space.Journal at the moment an operation's verdict
+// becomes linearized.
+type Backing interface {
+	// Persist journals the persisted value of the durable root named key.
+	// Appends may be buffered; they are durable only after Sync.
+	Persist(key string, val int64)
+	// Sync is the durability barrier: it returns once every previously
+	// journaled persist is physically durable.
+	Sync() error
+}
+
+// SetBacking attaches the persistence substrate. Like SetHistory, call it
+// before the first operation executes; the field is read without
+// synchronization on the journal path.
+func (s *Space) SetBacking(b Backing) { s.backing = b }
+
+// Backing returns the attached substrate, or nil for a heap-backed space.
+func (s *Space) Backing() Backing { return s.backing }
+
+// Journal forwards one logical persist to the backing store. On a
+// heap-backed space it is a no-op, keeping the non-durable hot path free
+// of any cost beyond a nil check.
+func (s *Space) Journal(key string, val int64) {
+	if s.backing != nil {
+		s.backing.Persist(key, val)
+	}
+}
+
+// SyncBacking is the space's durability barrier, a no-op without backing.
+func (s *Space) SyncBacking() error {
+	if s.backing != nil {
+		return s.backing.Sync()
+	}
+	return nil
+}

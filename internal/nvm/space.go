@@ -48,9 +48,10 @@ func (m Model) String() string {
 //
 // The zero value is ready to use.
 type Space struct {
-	epoch Epoch
-	stats Stats
-	model Model
+	epoch   Epoch
+	stats   Stats
+	model   Model
+	backing Backing
 
 	mu         sync.Mutex
 	crashables []crashable

@@ -20,10 +20,12 @@ package server
 import (
 	"bufio"
 	"errors"
+	"fmt"
 	"net"
 	"sync"
 	"time"
 
+	"detectable/internal/durable"
 	"detectable/internal/nvm"
 	"detectable/internal/runtime"
 	"detectable/internal/shardkv"
@@ -38,6 +40,7 @@ const DefaultIdleTimeout = 2 * time.Minute
 // Server accepts connections and serves sessions over one shardkv.Store.
 type Server struct {
 	store *shardkv.Store
+	db    *durable.DB // nil without -data: sessions live and die in memory
 
 	mu       sync.Mutex
 	ln       net.Listener
@@ -62,6 +65,55 @@ func New(store *shardkv.Store) *Server {
 // SetIdleTimeout overrides how long detached sessions are retained for
 // resume (0 disables reaping). Call before Listen.
 func (srv *Server) SetIdleTimeout(d time.Duration) { srv.idleTTL = d }
+
+// AttachDurable makes the server's session layer durable over db (the same
+// DB the store was opened with via shardkv.Durable) and recovers every
+// session that was live when the previous process died: each gets its
+// process slot back, its outcome window reloaded, and its idle-reap clock
+// restarted. Call before Listen. From then on, session creation and every
+// released verdict are fsynced through db before the client sees them, so
+// a client that reconnects after a whole-process crash and re-issues its
+// in-flight request ID receives the original verdict.
+func (srv *Server) AttachDurable(db *durable.DB) error {
+	srv.mu.Lock()
+	defer srv.mu.Unlock()
+	if srv.ln != nil || len(srv.sessions) > 0 {
+		return errors.New("server: AttachDurable must run before Listen")
+	}
+	// Two recovered sessions can claim one slot when an END record was
+	// lost (endSession treats END appends as best-effort) and the pid was
+	// re-leased before the crash. The newer session (higher SID — Sessions
+	// returns ascending order) is the live one; the superseded one is
+	// durably ended now rather than refusing to start from our own data.
+	byPid := make(map[int]durable.SessionState)
+	for _, ss := range db.Sessions() {
+		if prev, ok := byPid[ss.PID]; ok {
+			db.AppendEnd(prev.SID) //nolint:errcheck // best-effort, same as endSession
+		}
+		byPid[ss.PID] = ss
+	}
+	for _, ss := range byPid {
+		if !srv.store.LeaseProc(ss.PID) {
+			return fmt.Errorf("server: recovered session %d holds process slot %d, which is not free", ss.SID, ss.PID)
+		}
+		sess := &session{
+			id: ss.SID, pid: ss.PID,
+			detachedAt:   time.Now(),
+			maxID:        ss.MaxID,
+			recoveredMax: ss.MaxID,
+			cache:        make(map[uint64][]byte, Window+1),
+		}
+		for reqID, reply := range ss.Window {
+			sess.cache[reqID] = append([]byte(nil), reply...)
+		}
+		srv.sessions[ss.SID] = sess
+	}
+	if next := db.NextSID(); next > srv.nextSID {
+		srv.nextSID = next
+	}
+	srv.db = db
+	return nil
+}
 
 // Store returns the served store, for tests and the daemon's final report.
 func (srv *Server) Store() *shardkv.Store { return srv.store }
@@ -122,6 +174,9 @@ func (srv *Server) reapLoop(ttl time.Duration) {
 		srv.mu.Unlock()
 		for _, sess := range expired {
 			if !sess.observer {
+				if srv.db != nil {
+					srv.db.AppendEnd(sess.id) //nolint:errcheck
+				}
 				srv.store.ReleaseProc(sess.pid)
 			}
 		}
@@ -288,6 +343,29 @@ func (srv *Server) attach(conn net.Conn, sid uint64, flags byte) (*session, uint
 			id: srv.nextSID, pid: pid, observer: observer,
 			conn: conn, gen: 1, cache: make(map[uint64][]byte, Window+1),
 		}
+		if srv.db != nil {
+			// The session must be durable before the client learns its ID:
+			// a restart may otherwise greet the resume with unknown-session
+			// and strand the client's in-flight request. Observer sessions
+			// are not recoverable (no slot, no window) but still burn their
+			// ID durably, or a restart would reissue it and a stale
+			// observer's resume would attach to a stranger's session. On
+			// failure the ID stays burned in memory too: the append may
+			// have reached the log even when the sync failed, and reusing
+			// the ID could durably bind it to two different pids.
+			var err error
+			if observer {
+				err = srv.db.NoteSID(sess.id)
+			} else {
+				err = srv.db.AppendHello(sess.id, pid)
+			}
+			if err != nil {
+				if !observer {
+					srv.store.ReleaseProc(pid)
+				}
+				return nil, 0, encodeErr(ErrBadRequest, "durable session record failed")
+			}
+		}
 		srv.sessions[sess.id] = sess
 		return sess, 1, appendHelloOK(nil, sess.id, pid, false)
 	}
@@ -327,6 +405,11 @@ func (srv *Server) endSession(sess *session) {
 	delete(srv.sessions, sess.id)
 	srv.mu.Unlock()
 	if live && !sess.observer {
+		if srv.db != nil {
+			// Best-effort: a lost END record only means the session is
+			// recovered once more after a restart and reaped by the idle TTL.
+			srv.db.AppendEnd(sess.id) //nolint:errcheck
+		}
 		srv.store.ReleaseProc(sess.pid)
 	}
 }
@@ -369,9 +452,28 @@ func (srv *Server) handle(sess *session, payload []byte, scratch *[]byte) (reply
 		*scratch = reply // keep the grown buffer for the next frame
 	}
 	if !fatal && len(reply) > 0 && reply[0] == StatusOK && !closing {
+		if srv.db != nil && !sess.observer && mutates(op) {
+			// The durability barrier before release: the shard logs holding
+			// this request's linearized mutations are synced, then the
+			// outcome record — in that order, so a replayed verdict can
+			// never outlive its effect. Only then may the reply leave.
+			// Read-only replies skip it: they have no effect to anchor, a
+			// never-delivered read simply re-executes fresh after a
+			// restart, and the in-memory window still covers
+			// connection-level resume — so reads cost no fsync.
+			if err := srv.db.CommitOutcome(sess.id, reqID, reply); err != nil {
+				return appendErr((*scratch)[:0], ErrBadRequest, "durable outcome commit failed"), false, true
+			}
+		}
 		sess.record(reqID, reply)
 	}
 	return reply, closing, fatal
+}
+
+// mutates reports whether op can linearize effects that must be durable
+// before its verdict is released.
+func mutates(op byte) bool {
+	return op == OpPut || op == OpDel || op == OpMPut
 }
 
 // execute decodes the op-specific body, runs it as the session's process

@@ -28,6 +28,14 @@ type session struct {
 	maxID      uint64            // highest request ID ever executed
 	cache      map[uint64][]byte // reqID → encoded reply, the persisted-outcome window
 	free       [][]byte          // evicted window entries, recycled by record
+	// recoveredMax is the durable outcome high-water this session was
+	// restored with after a whole-process restart (0 for sessions born in
+	// this process). In-window IDs at or below it that have no cache entry
+	// were read-only or error replies the crash discarded — the durable
+	// window holds every committed mutation — so they re-execute fresh
+	// rather than erroring as stale (a pipelining client may re-issue such
+	// an ID on resume).
+	recoveredMax uint64
 }
 
 // lookup returns the cached reply for reqID and how the ID classifies:
@@ -45,10 +53,19 @@ func (s *session) classify(reqID uint64) (reply []byte, class idClass) {
 	if reply, ok := s.cache[reqID]; ok {
 		return reply, idReplay
 	}
-	if reqID <= s.maxID {
+	if reqID > s.maxID {
+		return nil, idFresh
+	}
+	if reqID+Window <= s.maxID {
 		return nil, idStale
 	}
-	return nil, idFresh
+	if reqID <= s.recoveredMax {
+		// In-window, uncached, at or below the recovery high-water: a
+		// verdict the crash discarded but never a committed mutation (those
+		// are all in the durable window) — fresh execution is exactly-once.
+		return nil, idFresh
+	}
+	return nil, idStale
 }
 
 // record copies reply into the outcome window under reqID and evicts
@@ -57,9 +74,11 @@ func (s *session) classify(reqID uint64) (reply []byte, class idClass) {
 // called with s.mu held; reply may alias a caller-owned scratch buffer.
 func (s *session) record(reqID uint64, reply []byte) {
 	s.cache[reqID] = append(s.take(len(reply)), reply...)
-	s.maxID = reqID
+	if reqID > s.maxID {
+		s.maxID = reqID // a resumed pre-crash read may record out of order
+	}
 	for id := range s.cache {
-		if id+Window <= reqID {
+		if id+Window <= s.maxID {
 			// Keep evicted buffers for reuse; the window bounds the live
 			// entries, so Window spares also bound the free list.
 			if len(s.free) < Window {

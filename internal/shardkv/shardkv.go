@@ -22,6 +22,7 @@ import (
 	goruntime "runtime"
 	"sort"
 
+	"detectable/internal/durable"
 	"detectable/internal/history"
 	"detectable/internal/kv"
 	"detectable/internal/nvm"
@@ -40,6 +41,7 @@ type options struct {
 	historyMode history.Mode
 	historyCap  int
 	parallel    int
+	db          *durable.DB
 }
 
 // HistoryMode overrides the per-shard history retention. Production stores
@@ -72,12 +74,33 @@ func Parallel(n int) Option {
 	}
 }
 
+// Durable backs every shard's space with one shard log of db (making the
+// space a file-backed persistent space: linearized mutations are journaled
+// at verdict time) and restores each shard's recovered state before the
+// store serves its first operation. db's geometry must match the store's
+// shard count; durable.Open enforces it against the data directory's
+// manifest, and New panics on a mismatched db.
+func Durable(db *durable.DB) Option {
+	return func(o *options) { o.db = db }
+}
+
 // shard is one independent failure domain: a private system plus the
 // detectable kv store allocated in it.
 type shard struct {
 	sys   *runtime.System
 	store *kv.Store
 	stats Stats
+}
+
+// journal records a linearized mutation's persisted value with the shard
+// space's backing store — a no-op on heap-backed shards. It runs at
+// verdict time: after this call the value is queued for the shard's next
+// durability barrier (the server's CommitOutcome syncs it before the
+// verdict is released to a client).
+func (sh *shard) journal(out runtime.Outcome[int], key string, val int) {
+	if out.Status.Linearized() {
+		sh.sys.Space().Journal(key, int64(val))
+	}
 }
 
 // get/put/del run one detectable operation on this shard and record it.
@@ -91,12 +114,14 @@ func (sh *shard) get(pid int, key string, plans ...nvm.CrashPlan) runtime.Outcom
 
 func (sh *shard) put(pid int, key string, val int, plans ...nvm.CrashPlan) runtime.Outcome[int] {
 	out := sh.store.Put(pid, key, val, plans...)
+	sh.journal(out, key, val)
 	sh.stats.note(opPut, outcomeOf(out.Status), out.Crashes)
 	return out
 }
 
 func (sh *shard) del(pid int, key string, plans ...nvm.CrashPlan) runtime.Outcome[int] {
 	out := sh.store.Del(pid, key, plans...)
+	sh.journal(out, key, 0)
 	sh.stats.note(opDel, outcomeOf(out.Status), out.Crashes)
 	return out
 }
@@ -153,6 +178,9 @@ func NewModel(shards, procs int, m nvm.Model, opts ...Option) *Store {
 	for _, opt := range opts {
 		opt(&o)
 	}
+	if o.db != nil && o.db.NumShards() != shards {
+		panic("shardkv: durable store geometry does not match the shard count")
+	}
 	s := &Store{procs: procs, slots: newSlotPool(procs), parallel: o.parallel}
 	for i := 0; i < shards; i++ {
 		sys := runtime.NewSystemModel(procs, m)
@@ -162,7 +190,16 @@ func NewModel(shards, procs int, m nvm.Model, opts ...Option) *Store {
 		case history.ModeOff:
 			sys.SetHistory(history.NewOff())
 		}
-		s.shards = append(s.shards, &shard{sys: sys, store: kv.New(sys)})
+		sh := &shard{sys: sys, store: kv.New(sys)}
+		if o.db != nil {
+			// Recovery first, backing second: replayed roots are register
+			// initial values, not fresh persists to re-journal.
+			o.db.RangeShard(i, func(key string, val int64) {
+				sh.store.Restore(key, int(val))
+			})
+			sys.Space().SetBacking(o.db.ShardBacking(i))
+		}
+		s.shards = append(s.shards, sh)
 	}
 	return s
 }
@@ -217,6 +254,7 @@ func (s *Store) Del(pid int, key string, plans ...nvm.CrashPlan) runtime.Outcome
 func (s *Store) PutArmed(pid int, key string, val int, plan nvm.CrashPlan) runtime.Outcome[int] {
 	sh := s.shards[s.ShardFor(key)]
 	out := sh.store.PutArmed(pid, key, val, plan)
+	sh.journal(out, key, val)
 	sh.stats.note(opPut, outcomeOf(out.Status), out.Crashes)
 	return out
 }

@@ -37,6 +37,27 @@ func (s *Store) AcquireProc() (int, bool) {
 	return pid, true
 }
 
+// LeaseProc leases the specific process identity pid, reporting whether it
+// was free. Session recovery uses it: a restarted server re-leases exactly
+// the slots its recovered sessions held, so resumed clients keep their
+// process identity across a whole-process crash.
+func (s *Store) LeaseProc(pid int) bool {
+	if pid < 0 || pid >= s.procs {
+		return false
+	}
+	s.slots.mu.Lock()
+	defer s.slots.mu.Unlock()
+	for i, f := range s.slots.free {
+		if f == pid {
+			last := len(s.slots.free) - 1
+			s.slots.free[i] = s.slots.free[last]
+			s.slots.free = s.slots.free[:last]
+			return true
+		}
+	}
+	return false
+}
+
 // ReleaseProc returns a leased process identity to the pool. Releasing a
 // pid that is out of range or already free panics: a double release would
 // let two owners share one process identity.

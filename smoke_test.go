@@ -2,6 +2,8 @@ package detectable_test
 
 import (
 	"os/exec"
+	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -44,5 +46,31 @@ func TestMainsSmoke(t *testing.T) {
 				t.Fatalf("go %v produced no output", tc.args)
 			}
 		})
+	}
+}
+
+// TestRestartStormSmoke runs a short whole-process crash-restart cycle:
+// loadgen -restart-storm SIGKILLs a durable kvserverd mid-workload and
+// fails on any cross-restart detectability violation. The CI wire-smoke
+// job runs the full-length version; this pins the mode into the ordinary
+// test gate.
+func TestRestartStormSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns server processes; skipped in -short mode")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "kvserverd")
+	if out, err := exec.Command("go", "build", "-o", bin, "./cmd/kvserverd").CombinedOutput(); err != nil {
+		t.Fatalf("build kvserverd: %v\n%s", err, out)
+	}
+	out, err := exec.Command("go", "run", "./cmd/loadgen",
+		"-restart-storm", "-server-bin", bin, "-data", filepath.Join(dir, "data"),
+		"-mix", "crash-storm", "-procs", "2", "-shards", "2", "-keys", "8",
+		"-dur", "1s", "-restarts", "2", "-restart-every", "400ms").CombinedOutput()
+	if err != nil {
+		t.Fatalf("restart-storm failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "zero violations") {
+		t.Fatalf("restart-storm did not report zero violations:\n%s", out)
 	}
 }
