@@ -48,6 +48,16 @@ func BenchmarkShardKVMultiPut(b *testing.B) {
 	}
 }
 
+// BenchmarkServedMultiPut measures the whole served MPUT request path
+// (decode, batch fan-out, reply encode, outcome window) via a loopback
+// session — the allocation-free serving promise, end to end minus the
+// socket.
+func BenchmarkServedMultiPut(b *testing.B) {
+	for _, shards := range []int{1, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), benchsuite.ServedMultiPut(shards))
+	}
+}
+
 // --- E9: time overhead of detectability (CAS family) ---
 
 func BenchmarkCASDetectable(b *testing.B) {

@@ -68,10 +68,12 @@ type Doc struct {
 var allocCeilings = map[string]float64{
 	"pin/crash-free-get-allocs":               0,
 	"pin/wire-encode-allocs-frame":            1,
+	"pin/served-mput-allocs":                  0,
 	"BenchmarkShardKV/shards=1":               6,
 	"BenchmarkShardKV/shards=8":               6,
 	"BenchmarkCASDetectableContended/procs=8": 8,
 	"BenchmarkWriteDetectable/N=8":            8,
+	"BenchmarkServedMultiPut/shards=8":        0,
 }
 
 func main() {
@@ -104,6 +106,8 @@ func run(out, in, label, note string, check, checkOnly bool, shards int, wireCon
 			pins["pin/crash-free-get-allocs"], allocCeilings["pin/crash-free-get-allocs"])
 		fmt.Printf("  wire frame encode  %.0f allocs/frame (ceiling %.0f)\n",
 			pins["pin/wire-encode-allocs-frame"], allocCeilings["pin/wire-encode-allocs-frame"])
+		fmt.Printf("  served MPUT        %.0f allocs/op (ceiling %.0f)\n",
+			pins["pin/served-mput-allocs"], allocCeilings["pin/served-mput-allocs"])
 		if checkOnly {
 			return nil
 		}
@@ -192,6 +196,32 @@ func measurePins() map[string]float64 {
 		buf = server.AppendPut(buf[:0], 1, 0, "pin-key", 42)
 		server.WriteFrameBuffered(bw, buf)
 		bw.Flush()
+	})
+
+	// The served MPUT path end to end (minus the socket): 0 allocs/op
+	// once warm — the group-commit PR's serving promise. The warm-up
+	// wraps every shard's history ring.
+	store := shardkv.New(8, 2)
+	srv := server.New(store)
+	ls, err := srv.NewLoopbackSession()
+	if err != nil {
+		pins["pin/served-mput-allocs"] = -1 // impossible; fail loud in gate output
+		return pins
+	}
+	defer ls.Close()
+	entries := make([]shardkv.KV, 64)
+	for i := range entries {
+		entries[i] = shardkv.KV{Key: fmt.Sprintf("key-%d", i), Val: i}
+	}
+	payload := server.AppendMPut(nil, 0, entries)
+	warm := 2*shardkv.DefaultRingCapacity/len(entries)*8 + 2*server.Window
+	for i := 0; i < warm; i++ {
+		server.PatchReqID(payload, ls.NextID())
+		ls.Handle(payload)
+	}
+	pins["pin/served-mput-allocs"] = testing.AllocsPerRun(200, func() {
+		server.PatchReqID(payload, ls.NextID())
+		ls.Handle(payload)
 	})
 	return pins
 }

@@ -1,28 +1,59 @@
-// Command kvbench is a closed-loop benchmark client for the detectable KV
-// server: for each requested connection count it opens that many sessions,
-// drives one synchronous operation stream per session for the configured
-// duration, and reports aggregate throughput plus p50/p99 operation
-// latency.
+// Command kvbench is a benchmark client for the detectable KV server: for
+// each requested connection count it opens that many sessions, drives one
+// operation stream per session for the configured duration, and reports
+// aggregate throughput plus p50/p99 operation latency.
+//
+// Two load models:
+//
+//   - Closed loop (default): each connection issues the next request the
+//     moment the previous reply lands. Throughput is whatever the server
+//     sustains; latency percentiles describe only the server's service
+//     time.
+//   - Paced (-rate R): each connection issues R requests/sec on a fixed
+//     schedule, and every operation's latency is measured from its
+//     *intended* start time, not from when the request actually got sent.
+//     A slow reply that delays the requests queued behind it therefore
+//     charges that queueing delay to those requests — the standard fix for
+//     coordinated omission, where a closed loop silently stops sampling
+//     exactly while the server is at its worst. Paced percentiles are the
+//     ones that predict what an open workload would experience.
+//
+// Against a durable server, mutation replies wait for the commit barrier,
+// so -getpct 10 (write-heavy) with -rate exposes the fsync schedule
+// directly: per-mutation fsync charges every put a sync, group commit
+// amortizes one sync across an epoch.
 //
 // Usage:
 //
 //	kvbench -addr host:port [-conns 1,4] [-dur 2s] [-keys 512] [-getpct 50]
-//	kvbench -selftest [-shards 4] [-conns 1,4] ...
+//	        [-rate 2000] [-mput 16] [-json out.json -label run]
+//	kvbench -selftest [-shards 4] ...
+//	kvbench -server-bin ./kvserverd [-data dir] [-server-args "-epoch-interval 2ms"] ...
 //
-// -selftest starts an in-process kvserverd-equivalent on a loopback port
-// and benches that (still over real TCP), so the binary is runnable with
-// no external server — smoke tests use it.
+// -selftest starts an in-process non-durable server on a loopback port and
+// benches that (still over real TCP), so the binary is runnable with no
+// external daemon — smoke tests use it. -server-bin instead spawns a real
+// kvserverd (durable when -data is given or defaulted to a temp dir) and
+// benches the full served path; -server-args passes extra flags through,
+// which is how the BENCH_PR6.json group-commit-vs-per-mutation-fsync runs
+// are produced. -json appends this run's phases under -label into a JSON
+// document, merging with the file's existing runs.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
+	"net"
 	"os"
+	"os/exec"
+	goruntime "runtime"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"detectable/internal/client"
@@ -33,38 +64,83 @@ import (
 func main() {
 	addr := flag.String("addr", "", "server address (host:port)")
 	selftest := flag.Bool("selftest", false, "start an in-process server on a loopback port and bench it")
-	shards := flag.Int("shards", 4, "shards for the -selftest server")
+	serverBin := flag.String("server-bin", "", "spawn this kvserverd binary on a loopback port and bench it")
+	dataDir := flag.String("data", "", "durable data directory for -server-bin (empty = fresh temp dir)")
+	serverArgs := flag.String("server-args", "", "extra kvserverd flags for -server-bin, space-separated")
+	shards := flag.Int("shards", 4, "shards for the -selftest or -server-bin server")
 	connsFlag := flag.String("conns", "1,4", "comma-separated connection counts to bench")
 	dur := flag.Duration("dur", 2*time.Second, "measured duration per connection count")
 	keys := flag.Int("keys", 512, "key-space size")
 	getPct := flag.Int("getpct", 50, "percentage of operations that are reads")
+	mput := flag.Int("mput", 0, "batch writes: each write is an MPUT of this many entries (0 = single puts)")
+	rate := flag.Float64("rate", 0, "paced mode: requests/sec per connection, latency from intended start (0 = closed loop)")
+	jsonOut := flag.String("json", "", "merge this run's results into this JSON file under -label")
+	label := flag.String("label", "run", "run name for -json")
 	seed := flag.Int64("seed", 1, "randomness seed")
 	flag.Parse()
-	if err := run(*addr, *selftest, *shards, *connsFlag, *dur, *keys, *getPct, *seed); err != nil {
+	if err := run(*addr, *selftest, *serverBin, *dataDir, *serverArgs, *shards, *connsFlag,
+		*dur, *keys, *getPct, *mput, *rate, *jsonOut, *label, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "kvbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, selftest bool, shards int, connsFlag string, dur time.Duration, keys, getPct int, seed int64) error {
+// phaseResult is one connection count's measurement.
+type phaseResult struct {
+	Conns       int     `json:"conns"`
+	RatePerConn float64 `json:"rate_per_conn,omitempty"`
+	Ops         int     `json:"ops"`
+	Throughput  float64 `json:"throughput_ops_sec"`
+	P50Ns       int64   `json:"p50_ns"`
+	P99Ns       int64   `json:"p99_ns"`
+	MaxNs       int64   `json:"max_ns"`
+}
+
+// runSection is one labeled run in the -json document.
+type runSection struct {
+	Generated  string        `json:"generated"`
+	Go         string        `json:"go"`
+	GetPct     int           `json:"getpct"`
+	MPut       int           `json:"mput,omitempty"`
+	Keys       int           `json:"keys"`
+	DurSec     float64       `json:"dur_sec"`
+	ServerArgs string        `json:"server_args,omitempty"`
+	Phases     []phaseResult `json:"phases"`
+}
+
+// jsonDoc is the whole -json file: labeled runs over one served workload.
+type jsonDoc struct {
+	Schema string                 `json:"schema"`
+	Runs   map[string]*runSection `json:"runs"`
+}
+
+func run(addr string, selftest bool, serverBin, dataDir, serverArgs string, shards int, connsFlag string,
+	dur time.Duration, keys, getPct, mput int, rate float64, jsonOut, label string, seed int64) error {
 	connCounts, err := parseConns(connsFlag)
 	if err != nil {
 		return err
 	}
-	if (addr == "") == !selftest {
-		return fmt.Errorf("exactly one of -addr and -selftest is required")
+	modes := 0
+	for _, on := range []bool{addr != "", selftest, serverBin != ""} {
+		if on {
+			modes++
+		}
 	}
-	if keys < 1 || getPct < 0 || getPct > 100 {
-		return fmt.Errorf("need keys ≥ 1 and 0 ≤ getpct ≤ 100")
+	if modes != 1 {
+		return fmt.Errorf("exactly one of -addr, -selftest and -server-bin is required")
+	}
+	if keys < 1 || getPct < 0 || getPct > 100 || mput < 0 || rate < 0 {
+		return fmt.Errorf("need keys ≥ 1, 0 ≤ getpct ≤ 100, mput ≥ 0, rate ≥ 0")
 	}
 
-	if selftest {
-		maxConns := 0
-		for _, n := range connCounts {
-			if n > maxConns {
-				maxConns = n
-			}
+	maxConns := 0
+	for _, n := range connCounts {
+		if n > maxConns {
+			maxConns = n
 		}
+	}
+	switch {
+	case selftest:
 		srv := server.New(shardkv.New(shards, maxConns))
 		if err := srv.Listen("127.0.0.1:0"); err != nil {
 			return err
@@ -72,54 +148,132 @@ func run(addr string, selftest bool, shards int, connsFlag string, dur time.Dura
 		defer srv.Close()
 		addr = srv.Addr().String()
 		fmt.Printf("selftest server: addr=%s shards=%d procs=%d\n", addr, shards, maxConns)
+	case serverBin != "":
+		if dataDir == "" {
+			d, err := os.MkdirTemp("", "kvbench-data-")
+			if err != nil {
+				return err
+			}
+			defer os.RemoveAll(d)
+			dataDir = d
+		}
+		a, stop, err := spawnServer(serverBin, dataDir, serverArgs, shards, maxConns)
+		if err != nil {
+			return err
+		}
+		defer stop()
+		addr = a
+		fmt.Printf("spawned server: addr=%s shards=%d procs=%d data=%s args=%q\n", addr, shards, maxConns, dataDir, serverArgs)
 	}
 
-	fmt.Printf("target=%s dur=%s keys=%d getpct=%d\n", addr, dur, keys, getPct)
+	fmt.Printf("target=%s dur=%s keys=%d getpct=%d mput=%d rate=%.0f/conn\n", addr, dur, keys, getPct, mput, rate)
+	sec := &runSection{
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		Go:         goruntime.Version(),
+		GetPct:     getPct,
+		MPut:       mput,
+		Keys:       keys,
+		DurSec:     dur.Seconds(),
+		ServerArgs: serverArgs,
+	}
 	for _, n := range connCounts {
-		if err := benchPhase(addr, n, dur, keys, getPct, seed); err != nil {
+		r, err := benchPhase(addr, n, dur, keys, getPct, mput, rate, seed)
+		if err != nil {
 			return fmt.Errorf("conns=%d: %w", n, err)
 		}
+		sec.Phases = append(sec.Phases, r)
+	}
+	if jsonOut != "" {
+		return mergeJSON(jsonOut, label, sec)
 	}
 	return nil
 }
 
-// benchPhase runs one closed loop per connection for dur and prints one
-// report line.
-func benchPhase(addr string, conns int, dur time.Duration, keys, getPct int, seed int64) error {
+// benchPhase runs one stream per connection for dur and prints one report
+// line. With rate > 0, each stream issues requests on a fixed schedule and
+// measures latency from the intended start time (coordinated-omission
+// corrected); with rate == 0 it is a closed loop timing only service time.
+func benchPhase(addr string, conns int, dur time.Duration, keys, getPct, mput int, rate float64, seed int64) (phaseResult, error) {
 	clients := make([]*client.Client, conns)
 	for i := range clients {
 		c, err := client.Dial(addr)
 		if err != nil {
-			return fmt.Errorf("dial %d: %w", i, err)
+			return phaseResult{}, fmt.Errorf("dial %d: %w", i, err)
 		}
 		defer c.Close()
 		clients[i] = c
 	}
 
+	// Warm the key space on one connection before timing anything:
+	// creating a key's register is a one-time allocation of the paper's
+	// announce structure — O(procs²) NVM cells, milliseconds at high slot
+	// counts — and billing it to the measured window would swamp the
+	// serving costs (fsync schedule, batching) the bench compares.
+	{
+		const chunk = 64
+		warm := make([]shardkv.KV, 0, chunk)
+		for k := 0; k < keys; k += chunk {
+			warm = warm[:0]
+			for j := k; j < keys && j < k+chunk; j++ {
+				warm = append(warm, shardkv.KV{Key: "bench-" + strconv.Itoa(j), Val: 0})
+			}
+			if _, err := clients[0].MultiPut(warm); err != nil {
+				return phaseResult{}, fmt.Errorf("key-space warm-up: %w", err)
+			}
+		}
+	}
+
+	var interval time.Duration
+	if rate > 0 {
+		interval = time.Duration(float64(time.Second) / rate)
+	}
 	lats := make([][]time.Duration, conns) // per-worker, merged after the run
 	errs := make([]error, conns)
-	deadline := time.Now().Add(dur)
 	start := time.Now()
+	deadline := start.Add(dur)
 	var wg sync.WaitGroup
 	for i, c := range clients {
 		wg.Add(1)
 		go func(i int, c *client.Client) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(seed + int64(i)*7919))
-			for time.Now().Before(deadline) {
-				key := "bench-" + strconv.Itoa(rng.Intn(keys))
-				opStart := time.Now()
+			var entries []shardkv.KV
+			if mput > 0 {
+				entries = make([]shardkv.KV, mput)
+			}
+			for k := 0; ; k++ {
+				// The intended start is the schedule slot in paced mode —
+				// never pushed back by a slow predecessor — and "now" in
+				// closed-loop mode. Late slots are issued immediately,
+				// back to back, until the stream catches up; their
+				// latency still counts from the slot time.
+				intended := time.Now()
+				if interval > 0 {
+					intended = start.Add(time.Duration(k) * interval)
+					if sleep := time.Until(intended); sleep > 0 {
+						time.Sleep(sleep)
+					}
+				}
+				if !intended.Before(deadline) {
+					return
+				}
 				var err error
-				if rng.Intn(100) < getPct {
-					_, err = c.Get(key)
-				} else {
-					_, err = c.Put(key, rng.Int())
+				switch {
+				case rng.Intn(100) < getPct:
+					_, err = c.Get("bench-" + strconv.Itoa(rng.Intn(keys)))
+				case mput > 0:
+					for j := range entries {
+						entries[j] = shardkv.KV{Key: "bench-" + strconv.Itoa(rng.Intn(keys)), Val: rng.Int()}
+					}
+					_, err = c.MultiPut(entries)
+				default:
+					_, err = c.Put("bench-"+strconv.Itoa(rng.Intn(keys)), rng.Int())
 				}
 				if err != nil {
 					errs[i] = err
 					return
 				}
-				lats[i] = append(lats[i], time.Since(opStart))
+				lats[i] = append(lats[i], time.Since(intended))
 			}
 		}(i, c)
 	}
@@ -127,7 +281,7 @@ func benchPhase(addr string, conns int, dur time.Duration, keys, getPct int, see
 	elapsed := time.Since(start)
 	for _, err := range errs {
 		if err != nil {
-			return err
+			return phaseResult{}, err
 		}
 	}
 
@@ -136,13 +290,93 @@ func benchPhase(addr string, conns int, dur time.Duration, keys, getPct int, see
 		all = append(all, l...)
 	}
 	if len(all) == 0 {
-		return fmt.Errorf("no operations completed")
+		return phaseResult{}, fmt.Errorf("no operations completed")
 	}
 	sort.Slice(all, func(a, b int) bool { return all[a] < all[b] })
+	r := phaseResult{
+		Conns:       conns,
+		RatePerConn: rate,
+		Ops:         len(all),
+		Throughput:  float64(len(all)) / elapsed.Seconds(),
+		P50Ns:       int64(percentile(all, 50)),
+		P99Ns:       int64(percentile(all, 99)),
+		MaxNs:       int64(all[len(all)-1]),
+	}
 	fmt.Printf("conns=%d ops=%d throughput=%.0f ops/sec p50=%s p99=%s max=%s\n",
-		conns, len(all), float64(len(all))/elapsed.Seconds(),
-		percentile(all, 50), percentile(all, 99), all[len(all)-1])
-	return nil
+		conns, r.Ops, r.Throughput,
+		time.Duration(r.P50Ns), time.Duration(r.P99Ns), time.Duration(r.MaxNs))
+	return r, nil
+}
+
+// mergeJSON folds sec under label into the JSON document at path, keeping
+// any runs already recorded there.
+func mergeJSON(path, label string, sec *runSection) error {
+	doc := &jsonDoc{Schema: "detectable-served-bench/v1", Runs: map[string]*runSection{}}
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, doc); err != nil {
+			return fmt.Errorf("parsing existing %s: %w", path, err)
+		}
+		if doc.Runs == nil {
+			doc.Runs = map[string]*runSection{}
+		}
+	}
+	doc.Runs[label] = sec
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// spawnServer launches a kvserverd on a fresh loopback port and returns
+// its address plus a stop function (SIGTERM, SIGKILL+reap if it lingers —
+// the bench must never leak the child).
+func spawnServer(bin, dataDir, extraArgs string, shards, procs int) (string, func(), error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	args := []string{
+		"-addr", addr,
+		"-shards", strconv.Itoa(shards),
+		"-procs", strconv.Itoa(procs),
+		"-data", dataDir,
+	}
+	args = append(args, strings.Fields(extraArgs)...)
+	cmd := exec.Command(bin, args...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return "", nil, err
+	}
+	stop := func() {
+		cmd.Process.Signal(syscall.SIGTERM) //nolint:errcheck
+		done := make(chan struct{})
+		go func() { cmd.Wait(); close(done) }() //nolint:errcheck
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			cmd.Process.Kill() //nolint:errcheck
+			<-done
+		}
+	}
+
+	up := time.Now().Add(10 * time.Second)
+	for {
+		conn, err := net.DialTimeout("tcp", addr, 250*time.Millisecond)
+		if err == nil {
+			conn.Close()
+			return addr, stop, nil
+		}
+		if time.Now().After(up) {
+			stop()
+			return "", nil, fmt.Errorf("spawned server never came up: %w", err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
 }
 
 // percentile returns the p-th percentile of sorted latencies.

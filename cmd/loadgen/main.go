@@ -80,13 +80,14 @@ func main() {
 	dataDir := flag.String("data", "", "durable data directory for -restart-storm (empty = fresh temp dir)")
 	restarts := flag.Int("restarts", 5, "minimum SIGKILL/restart cycles for -restart-storm")
 	restartEvery := flag.Duration("restart-every", 700*time.Millisecond, "delay between SIGKILLs for -restart-storm")
+	serverArgs := flag.String("server-args", "", "extra kvserverd flags for -restart-storm, space-separated (e.g. \"-epoch-interval 2ms\")")
 	flag.Parse()
 	var err error
 	switch {
 	case *restartStorm && *remote != "":
 		err = fmt.Errorf("-restart-storm spawns its own server; drop -remote")
 	case *restartStorm:
-		err = runRestartStorm(*serverBin, *dataDir, *mix, *procs, *shards, *keys, *dur, *seed, *restarts, *restartEvery, *verbose)
+		err = runRestartStorm(*serverBin, *dataDir, *mix, *procs, *shards, *keys, *dur, *seed, *restarts, *restartEvery, *serverArgs, *verbose)
 	case *remote != "":
 		err = runRemote(*remote, *mix, *procs, *shards, *keys, *dur, *seed, *verbose)
 	default:

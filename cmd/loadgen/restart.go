@@ -7,6 +7,7 @@ import (
 	"os"
 	"os/exec"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"syscall"
@@ -27,7 +28,8 @@ import (
 // not. The bar is unchanged from every other mix: zero detectability
 // violations, now across whole-process crash/restart boundaries.
 func runRestartStorm(bin, dataDir, mix string, procs, shards, keys int,
-	dur time.Duration, seed int64, restarts int, restartEvery time.Duration, verbose bool) error {
+	dur time.Duration, seed int64, restarts int, restartEvery time.Duration,
+	serverArgs string, verbose bool) (err error) {
 	spec, ok := mixes[mix]
 	if !ok {
 		return fmt.Errorf("unknown mix %q (want read-heavy, write-heavy, mixed or crash-storm)", mix)
@@ -60,12 +62,34 @@ func runRestartStorm(bin, dataDir, mix string, procs, shards, keys int,
 		"-procs", strconv.Itoa(procs),
 		"-data", dataDir,
 	}
-	cmd, err := startServer(bin, args)
+	args = append(args, strings.Fields(serverArgs)...)
+	first, err := startServer(bin, args)
 	if err != nil {
 		return err
 	}
+	proc := &serverProc{cmd: first}
+
+	// One defer owns the spawned server's lifetime, installed before any
+	// path can exit: a clean run stops it gracefully (SIGTERM so shutdown
+	// stats print), every failure — dial timeout, detected violation,
+	// restart that never came back, even a panic unwinding this goroutine —
+	// SIGKILLs and reaps whatever the current incarnation is, so no run
+	// leaves an orphaned kvserverd holding the data directory. The data
+	// directory itself is always retained for post-mortem inspection.
+	defer func() {
+		if r := recover(); r != nil {
+			proc.killWait()
+			fmt.Fprintf(os.Stderr, "restart-storm: panic; server SIGKILLed and reaped, data dir retained at %s\n", dataDir)
+			panic(r)
+		}
+		if err != nil {
+			proc.killWait()
+			fmt.Fprintf(os.Stderr, "restart-storm: failed; server SIGKILLed and reaped, data dir retained at %s\n", dataDir)
+			return
+		}
+		stopServer(proc.get())
+	}()
 	if err := waitUp(addr, 10*time.Second); err != nil {
-		stopServer(cmd)
 		return fmt.Errorf("server never came up: %w", err)
 	}
 
@@ -74,7 +98,6 @@ func runRestartStorm(bin, dataDir, mix string, procs, shards, keys int,
 	clients := make([]*client.Client, procs)
 	for p := range clients {
 		if clients[p], err = client.Dial(addr); err != nil {
-			stopServer(cmd)
 			return fmt.Errorf("dial worker %d: %w", p, err)
 		}
 		clients[p].SetRedialPolicy(300, 100*time.Millisecond)
@@ -98,19 +121,23 @@ func runRestartStorm(bin, dataDir, mix string, procs, shards, keys int,
 	go func() {
 		defer storm.Done()
 		defer close(stop)
+		defer func() {
+			if r := recover(); r != nil {
+				stormErr = fmt.Errorf("storm goroutine panicked: %v", r)
+			}
+		}()
 		for {
 			time.Sleep(restartEvery)
 			if time.Now().After(deadline) && int(cycles.Load()) >= restarts {
 				return
 			}
-			cmd.Process.Kill() // SIGKILL: no shutdown path runs, fsynced state only
-			cmd.Wait()         //nolint:errcheck // killed on purpose
+			proc.killWait() // SIGKILL: no shutdown path runs, fsynced state only
 			next, err := startServer(bin, args)
 			if err != nil {
 				stormErr = fmt.Errorf("restart %d: %w", cycles.Load()+1, err)
 				return
 			}
-			cmd = next
+			proc.set(next)
 			if err := waitUp(addr, 15*time.Second); err != nil {
 				stormErr = fmt.Errorf("restart %d: server never came back: %w", cycles.Load()+1, err)
 				return
@@ -127,6 +154,11 @@ func runRestartStorm(bin, dataDir, mix string, procs, shards, keys int,
 		wg.Add(1)
 		go func(pid int) {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					hardErrs[pid] = fmt.Errorf("worker panicked: %v", r)
+				}
+			}()
 			c := clients[pid]
 			rng := rand.New(rand.NewSource(seed + int64(pid)*1001))
 			own := ownKeys(pid, procs, keys)
@@ -183,7 +215,6 @@ func runRestartStorm(bin, dataDir, mix string, procs, shards, keys int,
 	elapsed := time.Since(start)
 	storm.Wait()
 
-	defer func() { stopServer(cmd) }() // cmd is the final incarnation by now
 	for pid, err := range hardErrs {
 		if err != nil {
 			return fmt.Errorf("worker %d: %w", pid, err)
@@ -229,6 +260,30 @@ func runRestartStorm(bin, dataDir, mix string, procs, shards, keys int,
 	}
 	fmt.Println("detectability: every operation resolved to a definite outcome across whole-process restarts, zero violations")
 	return nil
+}
+
+// serverProc tracks the current kvserverd incarnation across the storm
+// goroutine's restarts, so the shutdown defer always kills the live
+// process and never a long-reaped ancestor.
+type serverProc struct {
+	mu  sync.Mutex
+	cmd *exec.Cmd
+}
+
+func (s *serverProc) set(c *exec.Cmd) { s.mu.Lock(); s.cmd = c; s.mu.Unlock() }
+
+func (s *serverProc) get() *exec.Cmd { s.mu.Lock(); defer s.mu.Unlock(); return s.cmd }
+
+// killWait SIGKILLs the current incarnation and reaps it; safe to call on
+// an already-dead process (Kill/Wait just error, which is fine — the point
+// is that no child outlives the run).
+func (s *serverProc) killWait() {
+	c := s.get()
+	if c == nil || c.Process == nil {
+		return
+	}
+	c.Process.Kill() //nolint:errcheck // may already be dead
+	c.Wait()         //nolint:errcheck // killed on purpose
 }
 
 // freeAddr reserves a loopback port by binding and immediately releasing

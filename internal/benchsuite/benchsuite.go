@@ -158,5 +158,11 @@ func Curated() []Named {
 			Bench: ShardKVMultiPut(shards),
 		})
 	}
+	for _, shards := range []int{1, 8} {
+		out = append(out, Named{
+			Name:  fmt.Sprintf("BenchmarkServedMultiPut/shards=%d", shards),
+			Bench: ServedMultiPut(shards),
+		})
+	}
 	return out
 }

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"testing"
 	"time"
 
 	"detectable/internal/client"
@@ -114,6 +115,40 @@ func wirePhase(addr string, conns int, dur time.Duration, keys int, seed int64) 
 		P50Ns:      int64(percentile(all, 50)),
 		P99Ns:      int64(percentile(all, 99)),
 	}, nil
+}
+
+// ServedMultiPut returns the full served-MPUT body: one loopback session
+// pushing a 64-entry MPUT frame through the server's whole request path —
+// header decode, zero-copy key decode, batch fan-out, reply encode,
+// outcome-window record — without a socket. The warm-up loop wraps every
+// shard's history ring (ring slot args buffers allocate on first touch)
+// so the recorded allocs/op is the steady state the alloc gate pins at
+// zero.
+func ServedMultiPut(shards int) func(b *testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		srv := server.New(shardkv.New(shards, 2))
+		ls, err := srv.NewLoopbackSession()
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer ls.Close()
+		entries := make([]shardkv.KV, 64)
+		for i := range entries {
+			entries[i] = shardkv.KV{Key: fmt.Sprintf("key-%d", i), Val: i}
+		}
+		payload := server.AppendMPut(nil, 0, entries)
+		warm := 2*shardkv.DefaultRingCapacity/len(entries)*shards + 2*server.Window
+		for i := 0; i < warm; i++ {
+			server.PatchReqID(payload, ls.NextID())
+			ls.Handle(payload)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			server.PatchReqID(payload, ls.NextID())
+			ls.Handle(payload)
+		}
+	}
 }
 
 // percentile returns the p-th percentile of sorted latencies.

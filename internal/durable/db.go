@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 )
 
@@ -53,6 +54,7 @@ type shardFile struct {
 	log   *Log
 	snap  string
 	state map[string]int64
+	enc   []byte // reusable put-record scratch, guarded by mu
 }
 
 // sessionsFile is the session layer's durable state.
@@ -79,6 +81,7 @@ type DB struct {
 	sessions  sessionsFile
 	procs     int
 	compactAt int64
+	gc        groupCommit
 }
 
 // Open opens (creating if needed) the data directory at dir for a store of
@@ -264,13 +267,20 @@ func (b ShardBacking) Persist(key string, val int64) { b.db.journalPut(b.i, key,
 func (b ShardBacking) Sync() error { return b.db.shards[b.i].log.Sync() }
 
 // journalPut appends one persisted root to shard i's log and mirror,
-// compacting when the log crosses the threshold.
+// compacting when the log crosses the threshold. The caller's key may
+// alias a transient buffer (the server decodes keys zero-copy out of the
+// connection frame), so the mirror clones it on first insert — the only
+// place this layer retains a key.
 func (db *DB) journalPut(i int, key string, val int64) {
 	sf := db.shards[i]
 	sf.mu.Lock()
 	defer sf.mu.Unlock()
+	if _, ok := sf.state[key]; !ok {
+		key = strings.Clone(key)
+	}
 	sf.state[key] = val
-	if err := sf.log.Append(encodePut(nil, key, val)); err != nil {
+	sf.enc = encodePut(sf.enc[:0], key, val)
+	if err := sf.log.Append(sf.enc); err != nil {
 		// The append never reached the file: the mirror and the log disagree
 		// and no later Sync can make the verdict durable. This is the one
 		// unrecoverable case; fail loudly rather than serve non-durable
@@ -517,13 +527,25 @@ func (db *DB) AppendEnd(sid uint64) error {
 	return db.syncOrCompactSessionsLocked()
 }
 
-// CommitOutcome makes one released verdict durable: it first syncs every
-// dirty shard log (the mutations this request linearized), then appends
-// the (sid, reqID, reply) outcome record and syncs the sessions log. The
-// ordering is the durability contract: an outcome record on disk implies
-// its effects are on disk, so a replayed verdict never promises a lost
-// write. Returns only after both barriers.
+// CommitOutcome makes one released verdict durable: shard effects first,
+// then the (sid, reqID, reply) outcome record, then the sessions-log
+// barrier. The ordering is the durability contract: an outcome record on
+// disk implies its effects are on disk, so a replayed verdict never
+// promises a lost write. Returns only after both barriers — directly when
+// group commit is off, or on the epoch boundary when it is on (the commit
+// coalesces with every other commit in flight and they share one fsync
+// pair; see groupcommit.go).
 func (db *DB) CommitOutcome(sid, reqID uint64, reply []byte) error {
+	if e := db.gc.join(sid, reqID, reply); e != nil {
+		<-e.done
+		return e.err
+	}
+	return db.commitOutcomeSync(sid, reqID, reply)
+}
+
+// commitOutcomeSync is the per-mutation commit path: one shard barrier and
+// one sessions barrier per released verdict.
+func (db *DB) commitOutcomeSync(sid, reqID uint64, reply []byte) error {
 	if err := db.SyncShards(); err != nil {
 		return err
 	}
@@ -531,15 +553,20 @@ func (db *DB) CommitOutcome(sid, reqID uint64, reply []byte) error {
 	ss.mu.Lock()
 	defer ss.mu.Unlock()
 	ss.noteOutcome(sid, reqID, reply)
-	ss.enc = append(ss.enc[:0], recOutcome)
-	ss.enc = binary.BigEndian.AppendUint64(ss.enc, sid)
-	ss.enc = binary.BigEndian.AppendUint64(ss.enc, reqID)
-	ss.enc = binary.BigEndian.AppendUint32(ss.enc, uint32(len(reply)))
-	ss.enc = append(ss.enc, reply...)
+	ss.enc = appendOutcomeRec(ss.enc[:0], sid, reqID, reply)
 	if err := ss.log.Append(ss.enc); err != nil {
 		return err
 	}
 	return db.syncOrCompactSessionsLocked()
+}
+
+// appendOutcomeRec appends one encoded recOutcome payload to dst.
+func appendOutcomeRec(dst []byte, sid, reqID uint64, reply []byte) []byte {
+	dst = append(dst, recOutcome)
+	dst = binary.BigEndian.AppendUint64(dst, sid)
+	dst = binary.BigEndian.AppendUint64(dst, reqID)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(reply)))
+	return append(dst, reply...)
 }
 
 // compactSessionsLocked writes the live sessions (and the next-SID
@@ -606,8 +633,10 @@ func (db *DB) Sync() error {
 	return db.sessions.log.Sync()
 }
 
-// Close syncs and closes every file. The DB must not be used afterwards.
+// Close stops group commit (draining any in-flight epoch), syncs, and
+// closes every file. The DB must not be used afterwards.
 func (db *DB) Close() error {
+	db.StopGroupCommit()
 	var first error
 	for _, sf := range db.shards {
 		if err := sf.log.Close(); err != nil && first == nil {

@@ -44,17 +44,30 @@ const (
 // polynomial NVM-adjacent storage systems conventionally use).
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
-// Log is one append-only CRC-framed record file. Appends are buffered by
-// the OS; Sync is the durability barrier. All methods are safe for
-// concurrent use; the mutex is held across fsync, so an Append that
-// completed before a Sync call began is durable when that Sync returns.
+// Log is one append-only CRC-framed record file. Appends are staged in
+// memory — they do not reach the kernel until the next Sync — so a batch
+// of records costs one write plus one fsync, and a record can never become
+// durable (or even reach the page cache) before the barrier that is
+// supposed to order it. All methods are safe for concurrent use; the mutex
+// is held across fsync, so an Append that completed before a Sync call
+// began is durable when that Sync returns.
+//
+// A failed barrier poisons the log: after a write or fsync error every
+// subsequent Append and Sync fails with the original error. Retrying an
+// fsync that already failed is not safe — the kernel may have dropped the
+// dirty pages while reporting the error, so a later "successful" fsync
+// would claim durability for data that never reached the disk.
 type Log struct {
 	mu    sync.Mutex
 	f     *os.File
 	path  string
-	size  int64 // bytes of valid, framed records
-	dirty bool  // appended since the last Sync
-	enc   []byte
+	size  int64  // bytes of valid, framed records in the file
+	buf   []byte // framed records staged since the last flush
+	dirty bool   // flushed to the file since the last fsync
+	err   error  // sticky poison from a failed write or fsync
+	// syncFn is the fsync implementation, replaceable by fault-injection
+	// tests; nil means (*os.File).Sync.
+	syncFn func(*os.File) error
 }
 
 // OpenLog opens (creating if needed) the record log at path, replays every
@@ -148,21 +161,19 @@ func readAll(f *os.File) ([]byte, error) {
 	return data, nil
 }
 
-// Append frames payload and writes it at the end of the log. The record is
-// buffered until the next Sync; callers must not release an effect that
-// depends on it before that barrier.
+// Append frames payload and stages it at the end of the log. The record
+// stays in memory until the next Sync; callers must not release an effect
+// that depends on it before that barrier.
 func (l *Log) Append(payload []byte) error {
 	if len(payload) > MaxRecord {
 		return fmt.Errorf("durable: record of %d bytes exceeds MaxRecord", len(payload))
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	l.enc = appendFrame(l.enc[:0], payload)
-	if _, err := l.f.WriteAt(l.enc, l.size); err != nil {
-		return err
+	if l.err != nil {
+		return l.err
 	}
-	l.size += int64(len(l.enc))
-	l.dirty = true
+	l.buf = appendFrame(l.buf, payload)
 	return nil
 }
 
@@ -174,48 +185,104 @@ func appendFrame(dst, payload []byte) []byte {
 }
 
 // Sync is the durability barrier: every Append that returned before Sync
-// was called is physically durable when it returns. A clean log (no
-// appends since the last barrier) syncs nothing.
+// was called is physically durable when it returns. Staged records are
+// flushed in one coalesced write, then fsynced. A clean log (no appends
+// since the last barrier) syncs nothing. A failed barrier poisons the log
+// permanently — see the Log doc comment.
 func (l *Log) Sync() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.syncLocked()
 }
 
+// flushLocked writes the staged records to the file in one vectored
+// append. Called with l.mu held.
+func (l *Log) flushLocked() error {
+	if l.err != nil {
+		return l.err
+	}
+	if len(l.buf) == 0 {
+		return nil
+	}
+	if _, err := l.f.WriteAt(l.buf, l.size); err != nil {
+		// The file offset the staged records were meant for may now hold a
+		// partial write; nothing after this point can be trusted durable.
+		l.poison(err)
+		return l.err
+	}
+	l.size += int64(len(l.buf))
+	l.buf = l.buf[:0]
+	l.dirty = true
+	return nil
+}
+
 func (l *Log) syncLocked() error {
+	if err := l.flushLocked(); err != nil {
+		return err
+	}
 	if !l.dirty {
 		return nil
 	}
-	if err := l.f.Sync(); err != nil {
-		return err
+	if err := l.fsync(); err != nil {
+		// fsyncgate semantics: the kernel may drop dirty pages on a failed
+		// fsync, so retrying could report durability for data that is gone.
+		// Poison instead of retrying.
+		l.poison(err)
+		return l.err
 	}
 	l.dirty = false
 	return nil
 }
 
-// Size returns the log's valid byte length.
-func (l *Log) Size() int64 {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.size
+// poison records the first write/fsync failure; every later Append, Sync,
+// and Reset returns it. Called with l.mu held.
+func (l *Log) poison(cause error) {
+	if l.err == nil {
+		l.err = fmt.Errorf("durable: log %s poisoned by failed barrier: %w", filepath.Base(l.path), cause)
+	}
 }
 
-// Reset truncates the log to empty — the tail-discard half of a
-// compaction, called only after the compacted snapshot is durably in
-// place (a crash between the snapshot rename and this truncate merely
-// replays records the snapshot already contains).
-func (l *Log) Reset() error {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if err := l.f.Truncate(0); err != nil {
-		return err
+// fsync calls the possibly-injected sync implementation.
+func (l *Log) fsync() error {
+	if l.syncFn != nil {
+		return l.syncFn(l.f)
 	}
-	l.size = 0
-	l.dirty = false
 	return l.f.Sync()
 }
 
-// Close syncs and closes the file.
+// Size returns the log's valid byte length, counting staged records.
+func (l *Log) Size() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.size + int64(len(l.buf))
+}
+
+// Reset truncates the log to empty, discarding staged records — the
+// tail-discard half of a compaction, called only after the compacted
+// snapshot is durably in place (a crash between the snapshot rename and
+// this truncate merely replays records the snapshot already contains).
+func (l *Log) Reset() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return l.err
+	}
+	if err := l.f.Truncate(0); err != nil {
+		l.poison(err)
+		return l.err
+	}
+	l.size = 0
+	l.buf = l.buf[:0]
+	l.dirty = false
+	if err := l.fsync(); err != nil {
+		l.poison(err)
+		return l.err
+	}
+	return nil
+}
+
+// Close syncs and closes the file. A poisoned log still closes its file
+// but reports the poison error.
 func (l *Log) Close() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()

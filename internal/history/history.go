@@ -110,13 +110,17 @@ func (e Event) String() string {
 }
 
 // slot is one ring entry. seq is 1+ticket of the event currently stored
-// (0 while empty); both fields are guarded by the slot's own mutex, so an
+// (0 while empty); all fields are guarded by the slot's own mutex, so an
 // append contends only with a reader or with the rare append that wrapped
-// around onto the same slot.
+// around onto the same slot. args is the slot-owned argument buffer the
+// stored event's Op.Args points into: appends copy the caller's args here
+// (callers may reuse their backing arrays, see Invoke) and reuse it on
+// wrap-around, so a steady-state ring appends without allocating.
 type slot struct {
-	mu  sync.Mutex
-	seq uint64
-	ev  Event
+	mu   sync.Mutex
+	seq  uint64
+	ev   Event
+	args []int
 }
 
 // Log is an append-only, concurrency-safe event log. The zero value is a
@@ -153,7 +157,10 @@ func (l *Log) Mode() Mode { return l.mode }
 // Capacity returns the ring capacity (0 for full and off modes).
 func (l *Log) Capacity() int { return len(l.slots) }
 
-// Invoke records the start of op by pid.
+// Invoke records the start of op by pid. op.Args is copied: the caller may
+// reuse its backing array after Invoke returns (object implementations
+// keep per-process argument buffers to make their hot paths
+// allocation-free).
 func (l *Log) Invoke(pid int, op spec.Operation) {
 	l.append(Event{Kind: KindInvoke, PID: pid, Op: op})
 }
@@ -268,9 +275,23 @@ func (l *Log) append(e Event) {
 		s := &l.slots[(t-1)&l.mask]
 		s.mu.Lock()
 		s.seq = t
+		// Copy the caller's args into the slot-owned buffer (reused across
+		// wrap-arounds): the caller may alias a per-process scratch it will
+		// overwrite on its next operation.
+		args := s.args
 		s.ev = e
+		if len(e.Op.Args) > 0 {
+			s.args = append(args[:0], e.Op.Args...)
+			s.ev.Op.Args = s.args
+		} else {
+			s.args = args
+			s.ev.Op.Args = nil
+		}
 		s.mu.Unlock()
 	default:
+		if len(e.Op.Args) > 0 {
+			e.Op.Args = append([]int(nil), e.Op.Args...)
+		}
 		l.mu.Lock()
 		l.events = append(l.events, e)
 		l.mu.Unlock()
@@ -294,7 +315,13 @@ func (l *Log) ringSnapshot() []Event {
 		s := &l.slots[i]
 		s.mu.Lock()
 		if s.seq != 0 {
-			tags = append(tags, tagged{seq: s.seq, ev: s.ev})
+			ev := s.ev
+			if len(ev.Op.Args) > 0 {
+				// The stored args alias the slot's reusable buffer; the
+				// snapshot must own its copy or a wrap-around would mutate it.
+				ev.Op.Args = append([]int(nil), ev.Op.Args...)
+			}
+			tags = append(tags, tagged{seq: s.seq, ev: ev})
 		}
 		s.mu.Unlock()
 	}

@@ -11,6 +11,7 @@ package kv
 
 import (
 	"sort"
+	"strings"
 	"sync"
 
 	"detectable/internal/nvm"
@@ -119,7 +120,10 @@ func (s *Store) Peek(key string) int {
 
 // reg returns (creating if needed) the register backing key. Register
 // creation is treated as metadata management, not a recoverable operation:
-// it allocates NVM cells but performs no primitives.
+// it allocates NVM cells but performs no primitives. The caller's key may
+// alias a transient buffer (the server decodes keys zero-copy out of the
+// connection frame), so the create path clones it — the only place this
+// layer retains a key.
 func (s *Store) reg(key string) *rw.Register[int] {
 	s.mu.RLock()
 	reg, ok := s.regs[key]
@@ -133,6 +137,6 @@ func (s *Store) reg(key string) *rw.Register[int] {
 		return reg
 	}
 	reg = rw.NewInt(s.sys, 0)
-	s.regs[key] = reg
+	s.regs[strings.Clone(key)] = reg
 	return reg
 }

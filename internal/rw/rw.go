@@ -75,8 +75,12 @@ type Register[V comparable] struct {
 	// pending write value travels through wVals[p], written by WriteOp
 	// before the operation starts (it is volatile helper state — recovery
 	// never reads it, exactly as the paper's recovery functions take no
-	// arguments beyond the announcement).
+	// arguments beyond the announcement). wDescs[p] is p's reusable write
+	// descriptor: its one-element Args slice is overwritten by every WriteOp
+	// of p, so the whole hot path allocates nothing; the history log copies
+	// Args on retention, which keeps the aliasing invisible.
 	wVals    []V
+	wDescs   []spec.Operation
 	wAnnFn   []func(*nvm.Ctx)
 	wBodyFn  []func(*nvm.Ctx) int
 	wRecovFn []func(*nvm.Ctx) (int, bool)
@@ -110,7 +114,9 @@ func New[V comparable](sys *runtime.System, vinit V, enc func(V) int) *Register[
 		reg.rAnn = append(reg.rAnn, runtime.NewAnn[V](sp))
 	}
 	reg.wVals = make([]V, n)
+	reg.wDescs = make([]spec.Operation, n)
 	for p := 0; p < n; p++ {
+		reg.wDescs[p] = spec.NewOp(spec.MethodWrite, 0)
 		reg.wAnnFn = append(reg.wAnnFn, reg.makeWriteAnnounce(p))
 		reg.wBodyFn = append(reg.wBodyFn, reg.makeWriteBody(p))
 		reg.wRecovFn = append(reg.wRecovFn, reg.makeWriteRecover(p))
@@ -137,13 +143,16 @@ func (reg *Register[V]) Read(pid int, plans ...nvm.CrashPlan) runtime.Outcome[V]
 
 // WriteOp builds the recoverable Write operation instance for pid. Exposed
 // so schedule-driven tests and the NRL wrapper can run it directly. The
-// closures are pre-built per process (the hot path allocates only the
-// abstract operation's argument list); val is staged in wVals[pid], which
-// the body reads once at its start.
+// closures and the descriptor are pre-built per process, so the hot path
+// allocates nothing: val is staged in wVals[pid] (read once by the body)
+// and the descriptor's argument slot is overwritten in place — Desc.Args
+// stays valid only until pid's next WriteOp, and the history log copies it
+// on retention.
 func (reg *Register[V]) WriteOp(pid int, val V) runtime.Op[int] {
 	reg.wVals[pid] = val
+	reg.wDescs[pid].Args[0] = reg.enc(val)
 	return runtime.Op[int]{
-		Desc:     spec.NewOp(spec.MethodWrite, reg.enc(val)),
+		Desc:     reg.wDescs[pid],
 		Announce: reg.wAnnFn[pid],
 		Body:     reg.wBodyFn[pid],
 		Recover:  reg.wRecovFn[pid],

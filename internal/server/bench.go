@@ -1,0 +1,78 @@
+package server
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// LoopbackSession drives the server's full request path — header decode,
+// classify, execute, reply encode, outcome-window record — without a
+// socket. Benchmarks and allocation gates use it to measure exactly the
+// per-request serving cost (cmd/benchjson pins the MPUT path at zero
+// allocations per op with it); the framing layer it skips is covered by
+// its own pins.
+//
+// The session it wraps leases a real process slot but is not registered
+// with the server's session table, so it cannot be resumed or reaped;
+// Close releases the slot. Not safe for concurrent use.
+type LoopbackSession struct {
+	srv     *Server
+	sess    *session
+	scratch *[]byte
+	nextID  uint64
+}
+
+// NewLoopbackSession leases a process slot and returns a loopback session
+// over srv. Callers must Close it.
+func (srv *Server) NewLoopbackSession() (*LoopbackSession, error) {
+	pid, ok := srv.store.AcquireProc()
+	if !ok {
+		return nil, errors.New("server: every process slot is leased")
+	}
+	srv.mu.Lock()
+	srv.nextSID++
+	sid := srv.nextSID
+	srv.mu.Unlock()
+	sess := &session{id: sid, pid: pid, gen: 1, cache: make(map[uint64][]byte, Window+1)}
+	if srv.db != nil {
+		if err := srv.db.AppendHello(sid, pid); err != nil {
+			srv.store.ReleaseProc(pid)
+			return nil, err
+		}
+	}
+	return &LoopbackSession{srv: srv, sess: sess, scratch: GetFrameBuf(), nextID: 1}, nil
+}
+
+// Handle processes one request payload (opcode + reqID + body, as built by
+// the Append* encoders) and returns the encoded reply. The reply aliases
+// the session's scratch and is valid until the next Handle call.
+func (ls *LoopbackSession) Handle(payload []byte) []byte {
+	reply, _, _ := ls.srv.handle(ls.sess, payload, ls.scratch)
+	return reply
+}
+
+// NextID returns a fresh strictly-increasing request ID.
+func (ls *LoopbackSession) NextID() uint64 {
+	id := ls.nextID
+	ls.nextID++
+	return id
+}
+
+// PatchReqID overwrites the request ID of an encoded request payload in
+// place, so benchmark loops can reuse one encoded frame without
+// re-encoding (a replayed ID would short-circuit into the window instead
+// of exercising the execute path).
+func PatchReqID(payload []byte, reqID uint64) {
+	binary.BigEndian.PutUint64(payload[1:], reqID)
+}
+
+// PID returns the leased process slot, for benchmarks that pre-warm store
+// state.
+func (ls *LoopbackSession) PID() int { return ls.sess.pid }
+
+// Close releases the session's process slot and scratch buffer.
+func (ls *LoopbackSession) Close() {
+	ls.srv.store.ReleaseProc(ls.sess.pid)
+	PutFrameBuf(ls.scratch)
+	ls.scratch = nil
+}

@@ -3,7 +3,9 @@ package server
 import (
 	"bufio"
 	"bytes"
+	"fmt"
 	"net"
+	"sync"
 	"testing"
 	"time"
 
@@ -197,6 +199,84 @@ func TestLostReplyFreshExecutionAfterRestart(t *testing.T) {
 	}
 	if got := st2.store.Peek("beta"); got != 8 {
 		t.Fatalf("beta = %d, want 8", got)
+	}
+}
+
+// TestGroupCommitReleasedVerdictsSurviveRestart is the epoch-release half
+// of the durability contract under group commit: replies are parked until
+// their epoch's fsync pair lands, so every verdict a client has actually
+// seen is anchored — a restart replays each one byte-identically from the
+// recovered window (no re-execution), regardless of where in an epoch the
+// kill landed. Two sessions run concurrently so epochs genuinely coalesce
+// outcomes from both.
+func TestGroupCommitReleasedVerdictsSurviveRestart(t *testing.T) {
+	dir := t.TempDir()
+	addr := reserveAddr(t)
+	st1 := startDurable(t, dir, addr)
+	st1.db.StartGroupCommit(500 * time.Microsecond)
+
+	const perConn = 8
+	type connState struct {
+		sid     uint64
+		puts    [][]byte // request frames, reusable for replay
+		replies [][]byte // released verdicts
+	}
+	states := make([]*connState, 2)
+	var wg sync.WaitGroup
+	for ci := range states {
+		states[ci] = &connState{}
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			cs := states[ci]
+			rc := dialRaw(t, addr)
+			defer rc.c.Close()
+			cs.sid, _ = rc.hello(t, 0)
+			for i := 0; i < perConn; i++ {
+				key := fmt.Sprintf("gc-%d-%d", ci, i)
+				put := AppendPut(nil, uint64(i+1), 0, key, ci*100+i)
+				reply := rc.roundTrip(t, put)
+				if reply[0] != StatusOK {
+					t.Errorf("conn %d PUT %d rejected: %v", ci, i, reply)
+					return
+				}
+				cs.puts = append(cs.puts, put)
+				cs.replies = append(cs.replies, reply)
+			}
+		}(ci)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	epochs, commits := st1.db.GroupCommitStats()
+	if commits != 2*perConn {
+		t.Fatalf("group commit anchored %d outcomes, want %d", commits, 2*perConn)
+	}
+	if epochs == 0 || epochs > commits {
+		t.Fatalf("epochs=%d commits=%d: not coalescing", epochs, commits)
+	}
+	st1.kill(t)
+
+	st2 := startDurable(t, dir, addr)
+	defer st2.kill(t)
+	st2.db.StartGroupCommit(500 * time.Microsecond)
+	for ci, cs := range states {
+		rc := dialRaw(t, addr)
+		if _, resumed := rc.hello(t, cs.sid); !resumed {
+			t.Fatalf("conn %d session did not resume", ci)
+		}
+		for i, put := range cs.puts {
+			if replayed := rc.roundTrip(t, put); !bytes.Equal(replayed, cs.replies[i]) {
+				t.Fatalf("conn %d request %d: replayed verdict differs\n  original %x\n  replayed %x",
+					ci, i, cs.replies[i], replayed)
+			}
+		}
+		rc.c.Close()
+	}
+	// Replays came from the durable window: the restarted store ran nothing.
+	if puts := st2.store.TotalStats().Puts; puts != 0 {
+		t.Fatalf("restart re-executed %d puts", puts)
 	}
 }
 

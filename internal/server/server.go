@@ -485,7 +485,7 @@ func (srv *Server) execute(sess *session, op byte, r *Reader, dst []byte) (reply
 	switch op {
 	case OpGet, OpDel:
 		plan := r.U32()
-		key := r.Key()
+		key := r.KeyRef()
 		if r.Err || r.Rest() != 0 {
 			return bad("malformed GET/DEL")
 		}
@@ -502,7 +502,7 @@ func (srv *Server) execute(sess *session, op byte, r *Reader, dst []byte) (reply
 
 	case OpPut:
 		plan := r.U32()
-		key := r.Key()
+		key := r.KeyRef()
 		val := int(r.I64())
 		if r.Err || r.Rest() != 0 {
 			return bad("malformed PUT")
@@ -517,35 +517,36 @@ func (srv *Server) execute(sess *session, op byte, r *Reader, dst []byte) (reply
 		if n > MaxBatch {
 			return bad("MGET batch too large")
 		}
-		keys := make([]string, n)
-		for i := range keys {
-			keys[i] = r.Key()
+		keys := sess.keys[:0]
+		for i := 0; i < n; i++ {
+			keys = append(keys, r.KeyRef())
 		}
+		sess.keys = keys
 		if r.Err || r.Rest() != 0 {
 			return bad("malformed MGET")
 		}
 		if !data() {
 			return appendErr(dst, ErrObserver, "data operation on observer session"), false, false
 		}
-		return appendOutcomesReply(dst, srv.store.MultiGet(sess.pid, keys)), false, false
+		return appendOutcomesReply(dst, srv.store.MultiGetWith(&sess.batch, sess.pid, keys)), false, false
 
 	case OpMPut:
 		n := int(r.U16())
 		if n > MaxBatch {
 			return bad("MPUT batch too large")
 		}
-		entries := make([]shardkv.KV, n)
-		for i := range entries {
-			entries[i].Key = r.Key()
-			entries[i].Val = int(r.I64())
+		entries := sess.entries[:0]
+		for i := 0; i < n; i++ {
+			entries = append(entries, shardkv.KV{Key: r.KeyRef(), Val: int(r.I64())})
 		}
+		sess.entries = entries
 		if r.Err || r.Rest() != 0 {
 			return bad("malformed MPUT")
 		}
 		if !data() {
 			return appendErr(dst, ErrObserver, "data operation on observer session"), false, false
 		}
-		return appendOutcomesReply(dst, srv.store.MultiPut(sess.pid, entries)), false, false
+		return appendOutcomesReply(dst, srv.store.MultiPutWith(&sess.batch, sess.pid, entries)), false, false
 
 	case OpCrash:
 		shard := r.U32()

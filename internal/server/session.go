@@ -4,6 +4,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"detectable/internal/shardkv"
 )
 
 // session is the server half of the paper's announcement structure lifted
@@ -36,6 +38,15 @@ type session struct {
 	// rather than erroring as stale (a pipelining client may re-issue such
 	// an ID on resume).
 	recoveredMax uint64
+
+	// Batch scratch, guarded by mu like everything execute touches: the
+	// decoded key/entry slices and the store-level batch working set are
+	// session-owned and reused across requests, so a warm session serves
+	// MGET/MPUT without allocating. The decoded keys alias the connection's
+	// frame buffer and never outlive the request.
+	keys    []string
+	entries []shardkv.KV
+	batch   shardkv.BatchScratch
 }
 
 // lookup returns the cached reply for reqID and how the ID classifies:

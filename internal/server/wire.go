@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"unsafe"
 
 	"detectable/internal/runtime"
 	"detectable/internal/shardkv"
@@ -426,6 +427,22 @@ func (r *Reader) Key() string {
 		return ""
 	}
 	return string(v)
+}
+
+// KeyRef reads a u16-length-prefixed key without copying: the returned
+// string aliases the frame payload and is valid only until the buffer the
+// frame was read into is reused (the next ReadFrameInto on the same
+// connection). The server's execute path uses it so the steady-state data
+// path allocates no key strings; every layer that retains a key past the
+// call (internal/kv's register map, internal/durable's shard mirror)
+// clones it at its own retention point.
+func (r *Reader) KeyRef() string {
+	n := int(r.U16())
+	v := r.take(n)
+	if len(v) == 0 {
+		return ""
+	}
+	return unsafe.String(&v[0], len(v))
 }
 
 // Outcome reads one encoded detectable outcome.

@@ -1,0 +1,5 @@
+//go:build !race
+
+package shardkv
+
+const raceEnabled = false

@@ -63,14 +63,31 @@ func TestRestartStormSmoke(t *testing.T) {
 	if out, err := exec.Command("go", "build", "-o", bin, "./cmd/kvserverd").CombinedOutput(); err != nil {
 		t.Fatalf("build kvserverd: %v\n%s", err, out)
 	}
-	out, err := exec.Command("go", "run", "./cmd/loadgen",
-		"-restart-storm", "-server-bin", bin, "-data", filepath.Join(dir, "data"),
-		"-mix", "crash-storm", "-procs", "2", "-shards", "2", "-keys", "8",
-		"-dur", "1s", "-restarts", "2", "-restart-every", "400ms").CombinedOutput()
-	if err != nil {
-		t.Fatalf("restart-storm failed: %v\n%s", err, out)
+	// Two storms: the default per-mutation commit schedule, and group
+	// commit pinned at a tiny epoch interval so SIGKILLs land on live
+	// epoch boundaries with parked replies — the release-on-epoch
+	// invariant under a real whole-process crash.
+	variants := []struct {
+		name       string
+		serverArgs string
+	}{
+		{"per-mutation", "-group-commit=false"},
+		{"group-commit", "-epoch-interval 2ms"},
 	}
-	if !strings.Contains(string(out), "zero violations") {
-		t.Fatalf("restart-storm did not report zero violations:\n%s", out)
+	for _, v := range variants {
+		t.Run(v.name, func(t *testing.T) {
+			t.Parallel()
+			out, err := exec.Command("go", "run", "./cmd/loadgen",
+				"-restart-storm", "-server-bin", bin, "-data", filepath.Join(dir, "data-"+v.name),
+				"-mix", "crash-storm", "-procs", "2", "-shards", "2", "-keys", "8",
+				"-dur", "1s", "-restarts", "2", "-restart-every", "400ms",
+				"-server-args", v.serverArgs).CombinedOutput()
+			if err != nil {
+				t.Fatalf("restart-storm (%s) failed: %v\n%s", v.name, err, out)
+			}
+			if !strings.Contains(string(out), "zero violations") {
+				t.Fatalf("restart-storm (%s) did not report zero violations:\n%s", v.name, out)
+			}
+		})
 	}
 }
