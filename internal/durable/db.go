@@ -75,8 +75,9 @@ type sessionsFile struct {
 // before "outcome record durable" so no released verdict can outlive its
 // effect across a crash.
 type DB struct {
+	fs        Fs
 	dir       string
-	lock      *os.File // exclusive advisory flock on the data directory
+	unlock    func() // releases the exclusive lock on the data directory
 	shards    []*shardFile
 	sessions  sessionsFile
 	procs     int
@@ -84,32 +85,39 @@ type DB struct {
 	gc        groupCommit
 }
 
-// Open opens (creating if needed) the data directory at dir for a store of
-// the given geometry, recovering all shard state and session windows from
-// disk. Torn or corrupted log tails are truncated to the last valid
+// Open opens the data directory at dir on the real filesystem. See OpenFs.
+func Open(dir string, shards, procs, window int) (*DB, error) {
+	return OpenFs(OS, dir, shards, procs, window)
+}
+
+// OpenFs opens (creating if needed) the data directory at dir for a store
+// of the given geometry, recovering all shard state and session windows
+// from disk. Torn or corrupted log tails are truncated to the last valid
 // prefix. window bounds each recovered session's outcome window (use
 // server.Window). Reopening a directory created under a different
-// geometry is an error.
-func Open(dir string, shards, procs, window int) (*DB, error) {
+// geometry is an error. All I/O goes through fsys — the OS for real
+// deployments, internal/simio's simulated filesystem under the
+// crash-prefix model checker.
+func OpenFs(fsys Fs, dir string, shards, procs, window int) (*DB, error) {
 	if shards < 1 || procs < 1 {
 		return nil, fmt.Errorf("durable: need shards ≥ 1 and procs ≥ 1 (got %d, %d)", shards, procs)
 	}
 	if window < 1 {
 		return nil, fmt.Errorf("durable: need window ≥ 1 (got %d)", window)
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := mkdirAllSynced(fsys, dir); err != nil {
 		return nil, err
 	}
-	lock, err := lockDir(dir)
+	unlock, err := fsys.Lock(dir)
 	if err != nil {
 		return nil, err
 	}
-	if err := checkManifest(dir, shards, procs); err != nil {
-		unlockDir(lock)
+	if err := checkManifest(fsys, dir, shards, procs); err != nil {
+		unlock()
 		return nil, err
 	}
 
-	db := &DB{dir: dir, lock: lock, procs: procs, compactAt: DefaultCompactAt}
+	db := &DB{fs: fsys, dir: dir, unlock: unlock, procs: procs, compactAt: DefaultCompactAt}
 	db.sessions = sessionsFile{
 		snap:   filepath.Join(dir, "sessions.snap"),
 		state:  make(map[uint64]*SessionState),
@@ -121,11 +129,11 @@ func Open(dir string, shards, procs, window int) (*DB, error) {
 			state: make(map[string]int64),
 		}
 		replay := func(rec []byte) error { return sf.apply(rec) }
-		if err := ReplaySnapshot(sf.snap, replay); err != nil {
+		if err := ReplaySnapshotFs(fsys, sf.snap, replay); err != nil {
 			db.closePartial()
 			return nil, err
 		}
-		log, err := OpenLog(filepath.Join(dir, fmt.Sprintf("shard-%03d.log", i)), replay)
+		log, err := OpenLogFs(fsys, filepath.Join(dir, fmt.Sprintf("shard-%03d.log", i)), replay)
 		if err != nil {
 			db.closePartial()
 			return nil, err
@@ -135,11 +143,11 @@ func Open(dir string, shards, procs, window int) (*DB, error) {
 	}
 	ss := &db.sessions
 	replay := func(rec []byte) error { return ss.apply(rec) }
-	if err := ReplaySnapshot(ss.snap, replay); err != nil {
+	if err := ReplaySnapshotFs(fsys, ss.snap, replay); err != nil {
 		db.closePartial()
 		return nil, err
 	}
-	log, err := OpenLog(filepath.Join(dir, "sessions.log"), replay)
+	log, err := OpenLogFs(fsys, filepath.Join(dir, "sessions.log"), replay)
 	if err != nil {
 		db.closePartial()
 		return nil, err
@@ -150,12 +158,12 @@ func Open(dir string, shards, procs, window int) (*DB, error) {
 
 // checkManifest creates the geometry manifest on first open and verifies
 // it on every later one.
-func checkManifest(dir string, shards, procs int) error {
+func checkManifest(fsys Fs, dir string, shards, procs int) error {
 	path := filepath.Join(dir, "MANIFEST")
-	data, err := os.ReadFile(path)
+	data, err := fsys.ReadFile(path)
 	if os.IsNotExist(err) {
 		data, _ = json.Marshal(manifest{Version: 1, Shards: shards, Procs: procs})
-		return AtomicWriteFile(path, append(data, '\n'))
+		return AtomicWriteFileFs(fsys, path, append(data, '\n'))
 	}
 	if err != nil {
 		return err
@@ -180,7 +188,7 @@ func (db *DB) closePartial() {
 	if db.sessions.log != nil {
 		db.sessions.log.Close()
 	}
-	unlockDir(db.lock)
+	db.unlock()
 }
 
 // NumShards returns the number of shard logs.
@@ -296,8 +304,8 @@ func (db *DB) journalPut(i int, key string, val int64) {
 
 // writeSnapshot writes sf's mirror to a fresh snapshot, one put record per
 // key in sorted order. Called with sf.mu held.
-func (sf *shardFile) writeSnapshot() error {
-	return WriteSnapshot(sf.snap, func(emit func(rec []byte) error) error {
+func (sf *shardFile) writeSnapshot(fsys Fs) error {
+	return WriteSnapshotFs(fsys, sf.snap, func(emit func(rec []byte) error) error {
 		keys := make([]string, 0, len(sf.state))
 		for k := range sf.state {
 			keys = append(keys, k)
@@ -316,7 +324,7 @@ func (sf *shardFile) writeSnapshot() error {
 // held; a crash between the snapshot rename and the reset merely replays
 // records the snapshot already contains (puts are last-wins).
 func (db *DB) compactShardLocked(sf *shardFile) error {
-	if err := sf.writeSnapshot(); err != nil {
+	if err := sf.writeSnapshot(db.fs); err != nil {
 		return err
 	}
 	return sf.log.Reset()
@@ -546,8 +554,10 @@ func (db *DB) CommitOutcome(sid, reqID uint64, reply []byte) error {
 // commitOutcomeSync is the per-mutation commit path: one shard barrier and
 // one sessions barrier per released verdict.
 func (db *DB) commitOutcomeSync(sid, reqID uint64, reply []byte) error {
-	if err := db.SyncShards(); err != nil {
-		return err
+	if !MutantOutcomeFirst {
+		if err := db.SyncShards(); err != nil {
+			return err
+		}
 	}
 	ss := &db.sessions
 	ss.mu.Lock()
@@ -557,7 +567,13 @@ func (db *DB) commitOutcomeSync(sid, reqID uint64, reply []byte) error {
 	if err := ss.log.Append(ss.enc); err != nil {
 		return err
 	}
-	return db.syncOrCompactSessionsLocked()
+	if err := db.syncOrCompactSessionsLocked(); err != nil {
+		return err
+	}
+	if MutantOutcomeFirst {
+		return db.SyncShards()
+	}
+	return nil
 }
 
 // appendOutcomeRec appends one encoded recOutcome payload to dst.
@@ -574,7 +590,7 @@ func appendOutcomeRec(dst []byte, sid, reqID uint64, reply []byte) []byte {
 // ss.mu held.
 func (db *DB) compactSessionsLocked() error {
 	ss := &db.sessions
-	err := WriteSnapshot(ss.snap, func(emit func(rec []byte) error) error {
+	err := WriteSnapshotFs(db.fs, ss.snap, func(emit func(rec []byte) error) error {
 		enc := binary.BigEndian.AppendUint64([]byte{recNextSID}, ss.nextSID)
 		if err := emit(enc); err != nil {
 			return err
@@ -646,6 +662,6 @@ func (db *DB) Close() error {
 	if err := db.sessions.log.Close(); err != nil && first == nil {
 		first = err
 	}
-	unlockDir(db.lock)
+	db.unlock()
 	return first
 }

@@ -1,0 +1,143 @@
+package durable
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Fs is the operating-system surface this package performs all of its I/O
+// through. The default implementation (OS) is the real filesystem; the
+// simulated implementation (internal/simio) models the same surface with a
+// persistence journal, so the crash-prefix enumerator can reconstruct every
+// byte image a kernel crash could leave behind — including unsynced data
+// that was partially written back and directory entries that never became
+// durable.
+//
+// The seam is deliberately narrow: exactly the calls the commit protocol's
+// correctness depends on. Everything durability-critical is visible here —
+// a write is not durable until File.Sync, a created/renamed/removed
+// directory entry is not durable until SyncDir on its parent.
+type Fs interface {
+	// OpenFile opens path with os.OpenFile semantics for the flag subset
+	// this package uses (O_RDWR, O_RDONLY, O_WRONLY, O_CREATE, O_EXCL,
+	// O_TRUNC). A missing file without O_CREATE fails with an error
+	// satisfying os.IsNotExist.
+	OpenFile(path string, flag int, perm os.FileMode) (File, error)
+	// ReadFile reads the whole file, failing with os.IsNotExist when absent.
+	ReadFile(path string) ([]byte, error)
+	// MkdirAll creates dir and any missing parents.
+	MkdirAll(path string, perm os.FileMode) error
+	// Exists reports whether path exists (file or directory).
+	Exists(path string) (bool, error)
+	// Rename atomically replaces newpath with oldpath. The new directory
+	// entry is not durable until SyncDir on the parent.
+	Rename(oldpath, newpath string) error
+	// Remove deletes path.
+	Remove(path string) error
+	// SyncDir fsyncs the directory at dir, making every entry
+	// creation/rename/removal inside it durable.
+	SyncDir(dir string) error
+	// Lock takes an exclusive inter-process lock on dir, returning the
+	// unlock function, or fails if another live holder exists.
+	Lock(dir string) (unlock func(), err error)
+}
+
+// File is the open-file surface durable needs: positional reads and writes,
+// truncation, and the fsync barrier.
+type File interface {
+	io.Closer
+	Name() string
+	ReadAt(p []byte, off int64) (n int, err error)
+	WriteAt(p []byte, off int64) (n int, err error)
+	Write(p []byte) (n int, err error)
+	Truncate(size int64) error
+	Sync() error
+	Size() (int64, error)
+}
+
+// OS is the real-filesystem implementation of Fs, the default for every
+// entry point that does not take an explicit Fs. The indirection costs one
+// interface dispatch per syscall — noise next to the syscall itself — and
+// nothing at all on the staged-append hot path, which touches no file until
+// the next barrier.
+var OS Fs = osFs{}
+
+type osFs struct{}
+
+// osFile adds the Size accessor the File interface wants to *os.File.
+type osFile struct{ *os.File }
+
+func (f osFile) Size() (int64, error) {
+	st, err := f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}
+
+func (osFs) OpenFile(path string, flag int, perm os.FileMode) (File, error) {
+	f, err := os.OpenFile(path, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return osFile{f}, nil
+}
+
+func (osFs) ReadFile(path string) ([]byte, error) { return os.ReadFile(path) }
+
+func (osFs) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+
+func (osFs) Exists(path string) (bool, error) {
+	_, err := os.Stat(path)
+	if err == nil {
+		return true, nil
+	}
+	if os.IsNotExist(err) {
+		return false, nil
+	}
+	return false, err
+}
+
+func (osFs) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (osFs) Remove(path string) error { return os.Remove(path) }
+
+func (osFs) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+func (osFs) Lock(dir string) (func(), error) {
+	f, err := lockDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	return func() { unlockDir(f) }, nil
+}
+
+// mkdirAllSynced creates dir (and missing parents) with each newly created
+// directory's entry fsynced into its parent. Plain MkdirAll leaves the new
+// entries in the page cache: a crash after the first commit could then drop
+// the whole data directory — logs, fsynced contents and all — because the
+// entry chain leading to them was never durable.
+func mkdirAllSynced(fsys Fs, dir string) error {
+	ok, err := fsys.Exists(dir)
+	if err != nil || ok {
+		return err
+	}
+	parent := filepath.Dir(dir)
+	if parent != dir {
+		if err := mkdirAllSynced(fsys, parent); err != nil {
+			return err
+		}
+	}
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	return fsys.SyncDir(filepath.Dir(dir))
+}

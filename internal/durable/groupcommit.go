@@ -163,8 +163,10 @@ func (db *DB) commitLoop(stopc, stopped chan struct{}) {
 // one coalesced sessions-log append, then the sessions barrier. A failure
 // anywhere fails every member of the epoch.
 func (db *DB) anchorEpoch(e *epoch) error {
-	if err := db.SyncShards(); err != nil {
-		return err
+	if !MutantOutcomeFirst {
+		if err := db.SyncShards(); err != nil {
+			return err
+		}
 	}
 	ss := &db.sessions
 	ss.mu.Lock()
@@ -180,7 +182,13 @@ func (db *DB) anchorEpoch(e *epoch) error {
 		}
 		off += n
 	}
-	return db.syncOrCompactSessionsLocked()
+	if err := db.syncOrCompactSessionsLocked(); err != nil {
+		return err
+	}
+	if MutantOutcomeFirst {
+		return db.SyncShards()
+	}
+	return nil
 }
 
 // nextOutcomeRec decodes the first staged outcome record in b. Staged

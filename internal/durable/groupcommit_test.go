@@ -125,7 +125,7 @@ func TestLogSyncFailurePoisons(t *testing.T) {
 	defer l.Close()
 	boom := errors.New("injected EIO")
 	fail := true
-	l.syncFn = func(f *os.File) error {
+	l.syncFn = func(f File) error {
 		if fail {
 			return boom
 		}
@@ -162,7 +162,7 @@ func TestGroupCommitEpochFailureFailsAllWaiters(t *testing.T) {
 	}
 	db.AppendHello(1, 0)
 	boom := errors.New("injected EIO")
-	db.sessions.log.syncFn = func(*os.File) error { return boom }
+	db.sessions.log.syncFn = func(File) error { return boom }
 	db.StartGroupCommit(5 * time.Millisecond)
 
 	const n = 4

@@ -13,6 +13,12 @@
 // request-ID→outcome window durable so a client that reconnects after a
 // whole-process crash still receives the original verdict. docs/DURABILITY.md
 // is the normative description of the format and the recovery procedure.
+//
+// All I/O goes through the Fs seam (fs.go): the OS implementation by
+// default, internal/simio's simulated filesystem under the crash-prefix
+// model checker, which recovers from every crash point × torn-write variant
+// of a workload and pins recovery as a pure function of the byte image via
+// StateHash.
 package durable
 
 import (
@@ -34,7 +40,9 @@ import (
 // tail) ends the valid prefix: recovery keeps everything before it and
 // truncates the rest, exactly once, on open.
 const (
-	frameHeader = 8
+	// FrameHeader is the framed-record header size: u32 length + u32 CRC.
+	FrameHeader = 8
+	frameHeader = FrameHeader
 	// MaxRecord bounds one record's payload; a larger length field cannot
 	// come from a writer of this package and is treated as corruption.
 	MaxRecord = 1 << 24
@@ -59,25 +67,47 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 // would claim durability for data that never reached the disk.
 type Log struct {
 	mu    sync.Mutex
-	f     *os.File
+	f     File
 	path  string
 	size  int64  // bytes of valid, framed records in the file
 	buf   []byte // framed records staged since the last flush
 	dirty bool   // flushed to the file since the last fsync
 	err   error  // sticky poison from a failed write or fsync
 	// syncFn is the fsync implementation, replaceable by fault-injection
-	// tests; nil means (*os.File).Sync.
-	syncFn func(*os.File) error
+	// tests; nil means File.Sync.
+	syncFn func(File) error
 }
 
-// OpenLog opens (creating if needed) the record log at path, replays every
-// valid record through fn in append order, truncates the file to the last
-// valid prefix (discarding a torn or corrupted tail), and returns the log
-// positioned for appending. A replay error aborts the open.
+// OpenLog opens the record log at path on the real filesystem. See
+// OpenLogFs.
 func OpenLog(path string, fn func(rec []byte) error) (*Log, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	return OpenLogFs(OS, path, fn)
+}
+
+// OpenLogFs opens (creating if needed) the record log at path, replays
+// every valid record through fn in append order, truncates the file to the
+// last valid prefix (discarding a torn or corrupted tail), and returns the
+// log positioned for appending. A replay error aborts the open.
+//
+// A freshly created log gets its parent directory fsynced before use: a
+// log whose directory entry is still unsynced can vanish wholesale in a
+// crash — taking fsynced records with it — which is strictly worse than a
+// torn tail because recovery cannot even see that data was lost.
+func OpenLogFs(fsys Fs, path string, fn func(rec []byte) error) (*Log, error) {
+	f, err := fsys.OpenFile(path, os.O_RDWR, 0o644)
+	created := false
+	if err != nil && os.IsNotExist(err) {
+		f, err = fsys.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+		created = err == nil
+	}
 	if err != nil {
 		return nil, err
+	}
+	if created {
+		if err := fsys.SyncDir(filepath.Dir(path)); err != nil {
+			f.Close()
+			return nil, err
+		}
 	}
 	l := &Log{f: f, path: path}
 	valid, err := scanRecords(f, fn)
@@ -85,12 +115,12 @@ func OpenLog(path string, fn func(rec []byte) error) (*Log, error) {
 		f.Close()
 		return nil, err
 	}
-	st, err := f.Stat()
+	size, err := f.Size()
 	if err != nil {
 		f.Close()
 		return nil, err
 	}
-	if st.Size() > valid {
+	if size > valid {
 		// Torn or corrupted tail: keep the last valid prefix, drop the rest.
 		if err := f.Truncate(valid); err != nil {
 			f.Close()
@@ -109,7 +139,7 @@ func OpenLog(path string, fn func(rec []byte) error) (*Log, error) {
 // each valid one, and returns the byte offset of the end of the valid
 // prefix. Corruption (bad CRC, impossible length, short tail) is not an
 // error: it just ends the prefix.
-func scanRecords(f *os.File, fn func(rec []byte) error) (int64, error) {
+func scanRecords(f File, fn func(rec []byte) error) (int64, error) {
 	data, err := readAll(f)
 	if err != nil {
 		return 0, err
@@ -149,12 +179,12 @@ func nextRecord(b []byte) ([]byte, int64) {
 }
 
 // readAll reads f from the start without moving its append position.
-func readAll(f *os.File) ([]byte, error) {
-	st, err := f.Stat()
+func readAll(f File) ([]byte, error) {
+	size, err := f.Size()
 	if err != nil {
 		return nil, err
 	}
-	data := make([]byte, st.Size())
+	data := make([]byte, size)
 	if _, err := f.ReadAt(data, 0); err != nil && err != io.EOF {
 		return nil, err
 	}
@@ -293,12 +323,18 @@ func (l *Log) Close() error {
 	return l.f.Close()
 }
 
-// WriteSnapshot atomically replaces the snapshot at path with the framed
+// WriteSnapshot atomically replaces the snapshot at path on the real
+// filesystem. See WriteSnapshotFs.
+func WriteSnapshot(path string, emit func(append func(rec []byte) error) error) error {
+	return WriteSnapshotFs(OS, path, emit)
+}
+
+// WriteSnapshotFs atomically replaces the snapshot at path with the framed
 // records produced by emit: records go to a temporary file, which is
 // synced, renamed over path, and the parent directory synced — so a crash
 // anywhere leaves either the old snapshot or the new one, never a mix.
-func WriteSnapshot(path string, emit func(append func(rec []byte) error) error) error {
-	return atomicReplace(path, func(f *os.File) error {
+func WriteSnapshotFs(fsys Fs, path string, emit func(append func(rec []byte) error) error) error {
+	return atomicReplace(fsys, path, func(f File) error {
 		var enc []byte
 		return emit(func(rec []byte) error {
 			enc = appendFrame(enc[:0], rec)
@@ -311,7 +347,12 @@ func WriteSnapshot(path string, emit func(append func(rec []byte) error) error) 
 // AtomicWriteFile atomically replaces path with data, fsyncing contents
 // before the rename and the directory after it (the MANIFEST writer).
 func AtomicWriteFile(path string, data []byte) error {
-	return atomicReplace(path, func(f *os.File) error {
+	return AtomicWriteFileFs(OS, path, data)
+}
+
+// AtomicWriteFileFs is AtomicWriteFile through an explicit Fs.
+func AtomicWriteFileFs(fsys Fs, path string, data []byte) error {
+	return atomicReplace(fsys, path, func(f File) error {
 		_, err := f.Write(data)
 		return err
 	})
@@ -321,9 +362,9 @@ func AtomicWriteFile(path string, data []byte) error {
 // temporary file via fill, fsync it, rename it over path, fsync the
 // parent directory. Contents are durable before the rename can be, so a
 // crash leaves either the complete old file or the complete new one.
-func atomicReplace(path string, fill func(f *os.File) error) error {
+func atomicReplace(fsys Fs, path string, fill func(f File) error) error {
 	tmp := path + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	f, err := fsys.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return err
 	}
@@ -335,22 +376,28 @@ func atomicReplace(path string, fill func(f *os.File) error) error {
 		werr = cerr
 	}
 	if werr != nil {
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return werr
 	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
+	if err := fsys.Rename(tmp, path); err != nil {
+		fsys.Remove(tmp)
 		return err
 	}
-	return syncDir(path)
+	return fsys.SyncDir(filepath.Dir(path))
 }
 
-// ReplaySnapshot streams the valid record prefix of the snapshot at path
+// ReplaySnapshot streams the snapshot at path on the real filesystem. See
+// ReplaySnapshotFs.
+func ReplaySnapshot(path string, fn func(rec []byte) error) error {
+	return ReplaySnapshotFs(OS, path, fn)
+}
+
+// ReplaySnapshotFs streams the valid record prefix of the snapshot at path
 // through fn. A missing snapshot is not an error (no compaction has
 // happened yet); a truncated or corrupted one yields its valid prefix,
 // mirroring log recovery.
-func ReplaySnapshot(path string, fn func(rec []byte) error) error {
-	f, err := os.Open(path)
+func ReplaySnapshotFs(fsys Fs, path string, fn func(rec []byte) error) error {
+	f, err := fsys.OpenFile(path, os.O_RDONLY, 0)
 	if os.IsNotExist(err) {
 		return nil
 	}
@@ -360,15 +407,4 @@ func ReplaySnapshot(path string, fn func(rec []byte) error) error {
 	defer f.Close()
 	_, err = scanRecords(f, fn)
 	return err
-}
-
-// syncDir fsyncs the directory containing path, making a just-renamed
-// file's directory entry durable.
-func syncDir(path string) error {
-	d, err := os.Open(filepath.Dir(path))
-	if err != nil {
-		return err
-	}
-	defer d.Close()
-	return d.Sync()
 }

@@ -1,0 +1,16 @@
+package durable
+
+// Mutation hooks, following the internal/rcas / internal/rw / internal/queue
+// pattern: each deliberately breaks one step whose necessity the durability
+// argument depends on, so the crash-prefix sweep (internal/simio) can prove
+// it actually detects the bug class it exists for. Production code never
+// sets them; cmd/simsweep -mutant and the mutation tests do.
+
+// MutantOutcomeFirst inverts the commit protocol's fsync ordering: the
+// outcome record is appended and synced into the sessions log BEFORE the
+// shard logs holding its effects are synced. A crash in the inverted window
+// leaves a durable verdict whose write is gone — on recovery the client
+// would be promised an effect the store lost, the exact violation the
+// "shards strictly before outcome" ordering rules out. The simio sweep must
+// catch this within its crash-point enumeration.
+var MutantOutcomeFirst bool

@@ -1,0 +1,417 @@
+package simio
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"detectable/internal/durable"
+)
+
+// The crash-prefix sweep: run a durable workload against the simulated
+// filesystem, then for every crash point × admissible byte image, recover
+// with durable.OpenFs and check
+//
+//  1. recovery succeeds (a crash may never brick the store),
+//  2. outcome-implies-effect: every recovered outcome's journaled put is
+//     present in its shard mirror (the paper's detectability contract — a
+//     replayed verdict never promises a lost write),
+//  3. released-verdict survival: every verdict the workload released
+//     (CommitOutcome returned) before the crash point is recovered, with
+//     byte-identical reply and surviving effect,
+//  4. purity: recovering the same image twice yields the same StateHash —
+//     recovery is a pure function of the byte image,
+//  5. idempotence: recovering the image recovery itself produced yields
+//     the same StateHash (recover ×2 ≡ ×1),
+//
+// all pinned by durable.StateHash rather than spot-checks.
+
+// SweepConfig parameterizes one sweep.
+type SweepConfig struct {
+	Dir    string // data directory path inside the simulated fs
+	Shards int
+	Procs  int
+	Window int
+	Ops    int  // committed mutations in the main workload phase
+	Keys   int  // distinct keys per shard (values stay monotone per key)
+	Group  bool // group-commit epochs instead of per-mutation fsync
+	// EpochBatch > 1 adds a multi-member epoch phase (Group only): that
+	// many concurrent commits share one anchor, so crash points inside the
+	// shard-sync → outcome-fold → sessions-sync sequence carry several
+	// parked verdicts at once.
+	EpochBatch int
+	CompactAt  int64         // compaction threshold; 0 keeps the durable default
+	MaxImages  int           // per-crash-point image cap; 0 = unlimited
+	Budget     time.Duration // wall-clock budget; 0 = unlimited
+	Logf       func(format string, args ...any)
+}
+
+// Violation is one detected crash-consistency failure, carrying the exact
+// byte image that reproduces it.
+type Violation struct {
+	Point  int
+	Hash   string // StateHash of the first recovery, "" if recovery failed
+	Detail string
+	Image  Image
+}
+
+// SweepResult summarizes a sweep.
+type SweepResult struct {
+	Ops          int // journaled fs operations = crash points - 1
+	Points       int // crash points actually checked
+	Images       int // images recovered (each at least twice, plus replay)
+	CappedPoints int // points where MaxImages truncated enumeration
+	BudgetHit    bool
+	Violations   []Violation
+}
+
+// released is one verdict the workload released, with the journal indices
+// bracketing its validity.
+type released struct {
+	sid, req   uint64
+	key        string
+	val        int64
+	releasedAt int // journal length when CommitOutcome returned
+	endedAt    int // journal length when the session's END began; MaxInt if never
+}
+
+// Sweep runs the workload and the full crash-point × image enumeration.
+// The only error return is a workload failure (a bug in the harness or the
+// store's crash-free path); consistency failures are reported as
+// Violations.
+func Sweep(cfg SweepConfig) (*SweepResult, error) {
+	if cfg.Dir == "" {
+		cfg.Dir = "/data"
+	}
+	if cfg.Shards == 0 {
+		cfg.Shards = 2
+	}
+	if cfg.Procs == 0 {
+		cfg.Procs = 3
+	}
+	if cfg.Window == 0 {
+		cfg.Window = 64
+	}
+	if cfg.Keys == 0 {
+		cfg.Keys = 2
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+
+	fsim := New()
+	rel, err := runWorkload(fsim, cfg)
+	if err != nil {
+		return nil, err
+	}
+	journal := fsim.Journal()
+	res := &SweepResult{Ops: len(journal)}
+	logf("workload journaled %d fs ops (%d crash points), %d released verdicts",
+		len(journal), len(journal)+1, len(rel))
+
+	start := time.Now()
+	for k := 0; k <= len(journal); k++ {
+		if cfg.Budget > 0 && time.Since(start) > cfg.Budget {
+			res.BudgetHit = true
+			logf("budget exhausted at crash point %d/%d", k, len(journal))
+			break
+		}
+		res.Points++
+		n, capped := EnumerateImages(journal, k, RecordAwareCuts, cfg.MaxImages, func(img Image) bool {
+			res.Images++
+			if v := checkImage(cfg, img, rel, k); v != nil {
+				v.Point = k
+				res.Violations = append(res.Violations, *v)
+			}
+			return len(res.Violations) < 32 // keep sweeping, but bound the report
+		})
+		if capped {
+			res.CappedPoints++
+			logf("crash point %d: image enumeration capped at %d", k, n)
+		}
+	}
+	return res, nil
+}
+
+// runWorkload drives the commit protocol through every durability-relevant
+// path: session hellos, journaled puts, per-mutation or epoch commits, a
+// multi-member epoch, observer-ID burns, a session end, compaction (when
+// CompactAt is small), and a clean close.
+func runWorkload(fsim *Fs, cfg SweepConfig) ([]released, error) {
+	db, err := durable.OpenFs(fsim, cfg.Dir, cfg.Shards, cfg.Procs, cfg.Window)
+	if err != nil {
+		return nil, fmt.Errorf("simio: workload open: %w", err)
+	}
+	if cfg.CompactAt > 0 {
+		db.SetCompactThreshold(cfg.CompactAt)
+	}
+	if cfg.Group {
+		db.StartGroupCommit(0)
+	}
+	if err := db.AppendHello(1, 0); err != nil {
+		return nil, err
+	}
+	if err := db.AppendHello(2, 1); err != nil {
+		return nil, err
+	}
+
+	var rel []released
+	reqs := map[uint64]uint64{}
+	commit := func(sid uint64, i int) error {
+		shard := i % cfg.Shards
+		key := fmt.Sprintf("s%d-k%d", shard, (i/cfg.Shards)%cfg.Keys)
+		val := int64(i + 1) // monotone per key: i strictly increases
+		db.ShardBacking(shard).Persist(key, val)
+		reqs[sid]++
+		req := reqs[sid]
+		if err := db.CommitOutcome(sid, req, encodeReply(key, val)); err != nil {
+			return fmt.Errorf("simio: workload commit %d: %w", i, err)
+		}
+		rel = append(rel, released{
+			sid: sid, req: req, key: key, val: val,
+			releasedAt: fsim.Ops(), endedAt: math.MaxInt,
+		})
+		return nil
+	}
+
+	i := 0
+	for ; i < cfg.Ops; i++ {
+		if err := commit(1+uint64(i%2), i); err != nil {
+			return nil, err
+		}
+		if i == cfg.Ops/2 {
+			// Observer-session ID burn, mid-stream.
+			if err := db.NoteSID(100); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// A short-lived third session: hello, one commit, durable end. Its
+	// released verdict must survive crashes up to the moment the END could
+	// have reached the medium.
+	if cfg.Procs >= 3 {
+		if err := db.AppendHello(3, 2); err != nil {
+			return nil, err
+		}
+		if err := commit(3, i); err != nil {
+			return nil, err
+		}
+		i++
+		endStart := fsim.Ops()
+		if err := db.AppendEnd(3); err != nil {
+			return nil, err
+		}
+		for j := range rel {
+			if rel[j].sid == 3 {
+				rel[j].endedAt = endStart
+			}
+		}
+	}
+
+	// Multi-member epoch: several commits parked on one anchor, so the
+	// shard-sync → outcome-fold → sessions-sync sequence is crossed with
+	// multiple in-flight verdicts.
+	if cfg.Group && cfg.EpochBatch > 1 {
+		db.StopGroupCommit()
+		_, before := db.GroupCommitStats()
+		db.StartGroupCommit(time.Hour) // anchor only on the explicit drain
+		var (
+			mu  sync.Mutex
+			wg  sync.WaitGroup
+			wee error
+		)
+		for b := 0; b < cfg.EpochBatch; b++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				shard := i % cfg.Shards
+				key := fmt.Sprintf("s%d-k%d", shard, (i/cfg.Shards)%cfg.Keys)
+				val := int64(i + 1)
+				db.ShardBacking(shard).Persist(key, val)
+				mu.Lock()
+				reqs[1]++
+				req := reqs[1]
+				mu.Unlock()
+				err := db.CommitOutcome(1, req, encodeReply(key, val))
+				mu.Lock()
+				defer mu.Unlock()
+				if err != nil {
+					wee = err
+					return
+				}
+				rel = append(rel, released{
+					sid: 1, req: req, key: key, val: val,
+					releasedAt: fsim.Ops(), endedAt: math.MaxInt,
+				})
+			}(i + b)
+		}
+		// Wait for every member to park in the epoch, then drain: one
+		// anchor carries the whole batch.
+		for {
+			_, commits := db.GroupCommitStats()
+			if commits >= before+uint64(cfg.EpochBatch) {
+				break
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+		db.StopGroupCommit()
+		wg.Wait()
+		if wee != nil {
+			return nil, fmt.Errorf("simio: epoch batch commit: %w", wee)
+		}
+	}
+
+	if err := db.Close(); err != nil {
+		return nil, fmt.Errorf("simio: workload close: %w", err)
+	}
+	return rel, nil
+}
+
+// encodeReply encodes the (key, value) a commit promised, parseable so the
+// checker can tie any recovered outcome back to its required effect.
+func encodeReply(key string, val int64) []byte {
+	return []byte(key + "=" + strconv.FormatInt(val, 10))
+}
+
+func decodeReply(reply []byte) (key string, val int64, ok bool) {
+	s := string(reply)
+	eq := strings.LastIndexByte(s, '=')
+	if eq < 0 {
+		return "", 0, false
+	}
+	v, err := strconv.ParseInt(s[eq+1:], 10, 64)
+	if err != nil {
+		return "", 0, false
+	}
+	return s[:eq], v, true
+}
+
+// checkImage recovers one byte image (twice, plus a replay of the
+// recovered state) and evaluates every invariant. A nil return is a pass.
+func checkImage(cfg SweepConfig, img Image, rel []released, k int) *Violation {
+	fail := func(hash, format string, args ...any) *Violation {
+		return &Violation{Hash: hash, Detail: fmt.Sprintf(format, args...), Image: img.Clone()}
+	}
+
+	f1 := FromImage(img)
+	db1, err := durable.OpenFs(f1, cfg.Dir, cfg.Shards, cfg.Procs, cfg.Window)
+	if err != nil {
+		return fail("", "recovery failed: %v", err)
+	}
+	h1 := db1.StateHash()
+
+	kv := map[string]int64{}
+	for s := 0; s < cfg.Shards; s++ {
+		db1.RangeShard(s, func(key string, val int64) { kv[key] = val })
+	}
+	sessions := map[uint64]durable.SessionState{}
+	for _, s := range db1.Sessions() {
+		sessions[s.SID] = s
+	}
+
+	// (2) outcome-implies-effect, for every recovered outcome whether or
+	// not it was ever released.
+	for _, s := range sessions {
+		for req, reply := range s.Window {
+			key, val, ok := decodeReply(reply)
+			if !ok {
+				db1.Close()
+				return fail(h1, "recovered outcome sid=%d req=%d has undecodable reply %q", s.SID, req, reply)
+			}
+			if got, present := kv[key]; !present || got < val {
+				db1.Close()
+				return fail(h1, "outcome without effect: sid=%d req=%d promises %s=%d, shard has %d (present=%v)",
+					s.SID, req, key, val, got, present)
+			}
+		}
+	}
+
+	// (3) released-verdict survival.
+	for _, r := range rel {
+		if r.releasedAt > k || k >= r.endedAt {
+			continue // not yet released at the crash, or legitimately ended
+		}
+		if got, present := kv[r.key]; !present || got < r.val {
+			db1.Close()
+			return fail(h1, "released effect lost: sid=%d req=%d put %s=%d, shard has %d (present=%v)",
+				r.sid, r.req, r.key, r.val, got, present)
+		}
+		s, ok := sessions[r.sid]
+		if !ok {
+			db1.Close()
+			return fail(h1, "released verdict lost: session %d gone (req=%d)", r.sid, r.req)
+		}
+		if r.req+uint64(cfg.Window) <= s.MaxID {
+			continue // evicted past the window bound: the client has advanced
+		}
+		if string(s.Window[r.req]) != string(encodeReply(r.key, r.val)) {
+			db1.Close()
+			return fail(h1, "released verdict lost: sid=%d req=%d recovered as %q, want %q",
+				r.sid, r.req, s.Window[r.req], encodeReply(r.key, r.val))
+		}
+	}
+	db1.Close()
+
+	// (4) purity: same image, fresh recovery, same hash.
+	f2 := FromImage(img)
+	db2, err := durable.OpenFs(f2, cfg.Dir, cfg.Shards, cfg.Procs, cfg.Window)
+	if err != nil {
+		return fail(h1, "second recovery of the same image failed: %v", err)
+	}
+	h2 := db2.StateHash()
+	db2.Close()
+	if h2 != h1 {
+		return fail(h1, "recovery is not a pure function of the image: hash %s then %s", h1, h2)
+	}
+
+	// (5) idempotence: recover what recovery left behind; nothing changes.
+	f3 := FromImage(f1.LiveImage())
+	db3, err := durable.OpenFs(f3, cfg.Dir, cfg.Shards, cfg.Procs, cfg.Window)
+	if err != nil {
+		return fail(h1, "replay of the recovered state failed: %v", err)
+	}
+	h3 := db3.StateHash()
+	db3.Close()
+	if h3 != h1 {
+		return fail(h1, "recovery replay not idempotent: hash %s then %s", h1, h3)
+	}
+	return nil
+}
+
+// RecordAwareCuts is the CutFunc for durable's file formats: for framed
+// record streams it tears at every record boundary (a clean
+// record-granularity tear), inside each frame header, and mid-payload (a
+// CRC-failing tear); for unframed files (MANIFEST) it falls back to a few
+// representative byte cuts.
+func RecordAwareCuts(path string, data []byte) []int {
+	var cuts []int
+	off := 0
+	for off+durable.FrameHeader <= len(data) {
+		n := int(binary.BigEndian.Uint32(data[off:]))
+		if n > durable.MaxRecord || off+durable.FrameHeader+n > len(data) {
+			break
+		}
+		end := off + durable.FrameHeader + n
+		cuts = append(cuts, off+4, off+durable.FrameHeader+n/2, end)
+		off = end
+	}
+	if off == 0 {
+		// Not framed from the start: representative tears.
+		cuts = append(cuts, 1, len(data)/2, len(data)-1)
+	}
+	out := cuts[:0]
+	seen := map[int]bool{}
+	for _, c := range cuts {
+		if c > 0 && c < len(data) && !seen[c] {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	return out
+}
