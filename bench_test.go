@@ -39,6 +39,34 @@ func BenchmarkShardKV(b *testing.B) {
 	}
 }
 
+// BenchmarkShardKVZipf sweeps hot-key skew over both key-table
+// implementations: a Zipfian chooser concentrates 8 processes on a few
+// shared keys of one shard, the regime where the seed's RWMutex key table
+// serializes reads and the lock-free copy-on-write table does not. The
+// body lives in internal/benchsuite, shared with cmd/benchjson.
+func BenchmarkShardKVZipf(b *testing.B) {
+	for _, theta := range []float64{0.9, 1.2} {
+		for _, table := range []string{"lockfree", "locked"} {
+			b.Run(fmt.Sprintf("theta=%g/table=%s", theta, table),
+				benchsuite.ShardKVZipf(4, 8, theta, table == "locked"))
+		}
+	}
+}
+
+// BenchmarkKeyTableReadZipf isolates the key-table read path itself:
+// concurrent Peek streams over Zipfian-drawn keys, comparing the lock-free
+// copy-on-write table against the RWMutex baseline. This is the component
+// measurement the BENCH_PR8.json CI gate pins (cow must stay faster than
+// locked on every hot-key phase).
+func BenchmarkKeyTableReadZipf(b *testing.B) {
+	for _, theta := range []float64{0.9, 1.2} {
+		for _, table := range []string{"lockfree", "locked"} {
+			b.Run(fmt.Sprintf("theta=%g/table=%s", theta, table),
+				benchsuite.KeyTableReadZipf(8, theta, table == "locked"))
+		}
+	}
+}
+
 // BenchmarkShardKVMultiPut measures the batched write path: one process
 // putting 64-entry batches grouped (and fanned out in parallel) across
 // the shards.

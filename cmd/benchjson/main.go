@@ -74,6 +74,11 @@ var allocCeilings = map[string]float64{
 	"BenchmarkCASDetectableContended/procs=8": 8,
 	"BenchmarkWriteDetectable/N=8":            8,
 	"BenchmarkServedMultiPut/shards=8":        0,
+	// The PR 8 skew benches: the lock-free key-table read path must stay
+	// allocation-free under Zipfian hot-key traffic.
+	"BenchmarkKeyTableReadZipf/theta=0.9/table=lockfree": 0,
+	"BenchmarkKeyTableReadZipf/theta=1.2/table=lockfree": 0,
+	"BenchmarkShardKVZipf/theta=1.2/table=lockfree":      1,
 }
 
 func main() {

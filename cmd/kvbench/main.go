@@ -26,6 +26,7 @@
 // Usage:
 //
 //	kvbench -addr host:port [-conns 1,4] [-dur 2s] [-keys 512] [-getpct 50]
+//	        [-dist uniform|zipf] [-theta 0.99]
 //	        [-rate 2000] [-mput 16] [-json out.json -label run]
 //	kvbench -selftest [-shards 4] ...
 //	kvbench -server-bin ./kvserverd [-data dir] [-server-args "-epoch-interval 2ms"] ...
@@ -59,6 +60,7 @@ import (
 	"detectable/internal/client"
 	"detectable/internal/server"
 	"detectable/internal/shardkv"
+	"detectable/internal/workload"
 )
 
 func main() {
@@ -72,6 +74,8 @@ func main() {
 	dur := flag.Duration("dur", 2*time.Second, "measured duration per connection count")
 	keys := flag.Int("keys", 512, "key-space size")
 	getPct := flag.Int("getpct", 50, "percentage of operations that are reads")
+	dist := flag.String("dist", "uniform", "key distribution: uniform or zipf (rank 0 hottest)")
+	theta := flag.Float64("theta", 0.99, "Zipfian skew exponent for -dist zipf")
 	mput := flag.Int("mput", 0, "batch writes: each write is an MPUT of this many entries (0 = single puts)")
 	rate := flag.Float64("rate", 0, "paced mode: requests/sec per connection, latency from intended start (0 = closed loop)")
 	jsonOut := flag.String("json", "", "merge this run's results into this JSON file under -label")
@@ -79,7 +83,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "randomness seed")
 	flag.Parse()
 	if err := run(*addr, *selftest, *serverBin, *dataDir, *serverArgs, *shards, *connsFlag,
-		*dur, *keys, *getPct, *mput, *rate, *jsonOut, *label, *seed); err != nil {
+		*dur, *keys, *getPct, *dist, *theta, *mput, *rate, *jsonOut, *label, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "kvbench:", err)
 		os.Exit(1)
 	}
@@ -101,6 +105,8 @@ type runSection struct {
 	Generated  string        `json:"generated"`
 	Go         string        `json:"go"`
 	GetPct     int           `json:"getpct"`
+	Dist       string        `json:"dist,omitempty"`
+	Theta      float64       `json:"theta,omitempty"`
 	MPut       int           `json:"mput,omitempty"`
 	Keys       int           `json:"keys"`
 	DurSec     float64       `json:"dur_sec"`
@@ -115,10 +121,17 @@ type jsonDoc struct {
 }
 
 func run(addr string, selftest bool, serverBin, dataDir, serverArgs string, shards int, connsFlag string,
-	dur time.Duration, keys, getPct, mput int, rate float64, jsonOut, label string, seed int64) error {
+	dur time.Duration, keys, getPct int, dist string, theta float64, mput int, rate float64,
+	jsonOut, label string, seed int64) error {
 	connCounts, err := parseConns(connsFlag)
 	if err != nil {
 		return err
+	}
+	if dist != "uniform" && dist != "zipf" {
+		return fmt.Errorf("unknown -dist %q (want uniform or zipf)", dist)
+	}
+	if theta < 0 {
+		return fmt.Errorf("need -theta ≥ 0 (got %g)", theta)
 	}
 	modes := 0
 	for _, on := range []bool{addr != "", selftest, serverBin != ""} {
@@ -166,18 +179,21 @@ func run(addr string, selftest bool, serverBin, dataDir, serverArgs string, shar
 		fmt.Printf("spawned server: addr=%s shards=%d procs=%d data=%s args=%q\n", addr, shards, maxConns, dataDir, serverArgs)
 	}
 
-	fmt.Printf("target=%s dur=%s keys=%d getpct=%d mput=%d rate=%.0f/conn\n", addr, dur, keys, getPct, mput, rate)
+	fmt.Printf("target=%s dur=%s keys=%d getpct=%d dist=%s theta=%g mput=%d rate=%.0f/conn\n",
+		addr, dur, keys, getPct, dist, theta, mput, rate)
 	sec := &runSection{
 		Generated:  time.Now().UTC().Format(time.RFC3339),
 		Go:         goruntime.Version(),
 		GetPct:     getPct,
+		Dist:       dist,
+		Theta:      theta,
 		MPut:       mput,
 		Keys:       keys,
 		DurSec:     dur.Seconds(),
 		ServerArgs: serverArgs,
 	}
 	for _, n := range connCounts {
-		r, err := benchPhase(addr, n, dur, keys, getPct, mput, rate, seed)
+		r, err := benchPhase(addr, n, dur, keys, getPct, dist, theta, mput, rate, seed)
 		if err != nil {
 			return fmt.Errorf("conns=%d: %w", n, err)
 		}
@@ -193,7 +209,8 @@ func run(addr string, selftest bool, serverBin, dataDir, serverArgs string, shar
 // line. With rate > 0, each stream issues requests on a fixed schedule and
 // measures latency from the intended start time (coordinated-omission
 // corrected); with rate == 0 it is a closed loop timing only service time.
-func benchPhase(addr string, conns int, dur time.Duration, keys, getPct, mput int, rate float64, seed int64) (phaseResult, error) {
+func benchPhase(addr string, conns int, dur time.Duration, keys, getPct int, dist string, theta float64,
+	mput int, rate float64, seed int64) (phaseResult, error) {
 	clients := make([]*client.Client, conns)
 	for i := range clients {
 		c, err := client.Dial(addr)
@@ -236,7 +253,14 @@ func benchPhase(addr string, conns int, dur time.Duration, keys, getPct, mput in
 		wg.Add(1)
 		go func(i int, c *client.Client) {
 			defer wg.Done()
-			rng := rand.New(rand.NewSource(seed + int64(i)*7919))
+			rng := rand.New(rand.NewSource(workload.WorkerSeed(seed, conns, i)))
+			// nextKey is the phase's key chooser: Zipfian rank draw ("bench-0"
+			// hottest, concentrating the stream on a few shards) or uniform.
+			nextKey := func() string { return "bench-" + strconv.Itoa(rng.Intn(keys)) }
+			if dist == "zipf" {
+				z := workload.NewZipf(rng, keys, theta)
+				nextKey = func() string { return "bench-" + strconv.Itoa(z.Next()) }
+			}
 			var entries []shardkv.KV
 			if mput > 0 {
 				entries = make([]shardkv.KV, mput)
@@ -260,14 +284,14 @@ func benchPhase(addr string, conns int, dur time.Duration, keys, getPct, mput in
 				var err error
 				switch {
 				case rng.Intn(100) < getPct:
-					_, err = c.Get("bench-" + strconv.Itoa(rng.Intn(keys)))
+					_, err = c.Get(nextKey())
 				case mput > 0:
 					for j := range entries {
-						entries[j] = shardkv.KV{Key: "bench-" + strconv.Itoa(rng.Intn(keys)), Val: rng.Int()}
+						entries[j] = shardkv.KV{Key: nextKey(), Val: rng.Int()}
 					}
 					_, err = c.MultiPut(entries)
 				default:
-					_, err = c.Put("bench-"+strconv.Itoa(rng.Intn(keys)), rng.Int())
+					_, err = c.Put(nextKey(), rng.Int())
 				}
 				if err != nil {
 					errs[i] = err

@@ -17,7 +17,11 @@
 // Usage:
 //
 //	kvserverd [-addr :7070] [-shards 4] [-procs 8] [-data dir] [-dur 0]
-//	          [-group-commit] [-epoch-interval 0] [-v]
+//	          [-group-commit] [-epoch-interval 0] [-locked-keytable] [-v]
+//
+// -locked-keytable swaps each shard's lock-free copy-on-write key table
+// for the RWMutex-guarded baseline; it exists only so benchmark sweeps
+// (BENCH_PR8.json) can measure both sides through the same served path.
 //
 // With -group-commit (the default when durable), concurrent commits
 // coalesce into epochs sharing one fsync pair: every mutating reply is
@@ -53,15 +57,16 @@ func main() {
 	dur := flag.Duration("dur", 0, "serve duration (0 = until SIGINT/SIGTERM)")
 	groupCommit := flag.Bool("group-commit", true, "coalesce concurrent commits into epochs sharing one fsync pair")
 	epochInterval := flag.Duration("epoch-interval", 0, "group-commit batching window (0 = anchor epochs immediately)")
+	lockedTable := flag.Bool("locked-keytable", false, "use the RWMutex-guarded key table instead of the lock-free copy-on-write one (benchmark baseline)")
 	verbose := flag.Bool("v", false, "print the per-shard breakdown on shutdown")
 	flag.Parse()
-	if err := run(*addr, *shards, *procs, *data, *dur, *groupCommit, *epochInterval, *verbose); err != nil {
+	if err := run(*addr, *shards, *procs, *data, *dur, *groupCommit, *epochInterval, *lockedTable, *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, "kvserverd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, shards, procs int, data string, dur time.Duration, groupCommit bool, epochInterval time.Duration, verbose bool) error {
+func run(addr string, shards, procs int, data string, dur time.Duration, groupCommit bool, epochInterval time.Duration, lockedTable, verbose bool) error {
 	if shards < 1 || procs < 1 {
 		return fmt.Errorf("need shards ≥ 1 and procs ≥ 1 (got shards=%d procs=%d)", shards, procs)
 	}
@@ -71,6 +76,9 @@ func run(addr string, shards, procs int, data string, dur time.Duration, groupCo
 		err error
 	)
 	opts := []shardkv.Option{}
+	if lockedTable {
+		opts = append(opts, shardkv.LockedKeyTable())
+	}
 	if data != "" {
 		if db, err = durable.Open(data, shards, procs, server.Window); err != nil {
 			return err

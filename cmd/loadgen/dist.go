@@ -1,0 +1,344 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"detectable/internal/runtime"
+	"detectable/internal/workload"
+)
+
+// wlCfg bundles one run's workload shape: the operation mix, the key
+// distribution and the batching knob, shared by the in-process, remote and
+// restart-storm runners.
+type wlCfg struct {
+	mixName string
+	spec    mixSpec
+
+	// dist selects the key distribution: "uniform" keeps the seed behavior
+	// (every process owns a disjoint key slice, exact expected-value
+	// verification), "zipf" gives every process the full key space through
+	// a seeded Zipfian chooser (rank 0 hottest), so processes genuinely
+	// share hot keys — the regime the per-key write-registry verifier
+	// exists for.
+	dist  string
+	theta float64
+
+	// mput > 0 turns the write side of the mix into MultiPut batches of
+	// that many entries (the large-mutation mix): each entry's detectable
+	// outcome is verified individually, exactly like a single put.
+	mput int
+
+	procs, shards, keys int
+	dur                 time.Duration
+	seed                int64
+	verbose             bool
+}
+
+func (w *wlCfg) validate() error {
+	spec, ok := mixes[w.mixName]
+	if !ok {
+		return fmt.Errorf("unknown mix %q (want read-heavy, write-heavy, mixed or crash-storm)", w.mixName)
+	}
+	w.spec = spec
+	switch w.dist {
+	case "uniform":
+		if w.keys < w.procs {
+			return fmt.Errorf("uniform needs keys ≥ procs (got procs=%d keys=%d)", w.procs, w.keys)
+		}
+	case "zipf":
+		if w.theta < 0 {
+			return fmt.Errorf("need -theta ≥ 0 (got %g)", w.theta)
+		}
+	default:
+		return fmt.Errorf("unknown -dist %q (want uniform or zipf)", w.dist)
+	}
+	if w.procs < 1 || w.shards < 1 || w.keys < 1 || w.mput < 0 {
+		return fmt.Errorf("need procs ≥ 1, shards ≥ 1, keys ≥ 1 and -mput ≥ 0 (got procs=%d shards=%d keys=%d mput=%d)",
+			w.procs, w.shards, w.keys, w.mput)
+	}
+	return nil
+}
+
+func (w *wlCfg) shared() bool { return w.dist == "zipf" }
+
+// workerRNG derives worker pid's independent, replayable stream
+// (splitmix-hashed — the old seed+pid*1001 scheme collided across -procs
+// sweeps sharing a seed base).
+func (w *wlCfg) workerRNG(pid int) *rand.Rand {
+	return rand.New(rand.NewSource(workload.WorkerSeed(w.seed, w.procs, pid)))
+}
+
+// chooser draws worker pid's next key index into the global key list:
+// Zipfian over the full space in shared mode, uniform over the worker's
+// own disjoint slice otherwise.
+type chooser struct {
+	rng  *rand.Rand
+	zipf *workload.Zipf // nil in uniform mode
+	own  []int          // uniform mode: pid's global key indices
+}
+
+func (w *wlCfg) chooserFor(pid int, rng *rand.Rand) *chooser {
+	if w.shared() {
+		return &chooser{rng: rng, zipf: workload.NewZipf(rng, w.keys, w.theta)}
+	}
+	var own []int
+	for k := pid; k < w.keys; k += w.procs {
+		own = append(own, k)
+	}
+	return &chooser{rng: rng, own: own}
+}
+
+func (c *chooser) next() int {
+	if c.zipf != nil {
+		return c.zipf.Next()
+	}
+	return c.own[c.rng.Intn(len(c.own))]
+}
+
+// keyNames materializes the global key list ("key-0" is Zipf rank 0, the
+// hottest key).
+func keyNames(keys int) []string {
+	out := make([]string, keys)
+	for i := range out {
+		out[i] = fmt.Sprintf("key-%d", i)
+	}
+	return out
+}
+
+// sharedTracker is the per-key last-writer registry that keeps the
+// zero-violations bar when processes share keys and no single process can
+// know a key's exact expected value. Every write value is unique, so the
+// registry can classify any observed value:
+//
+//   - a writer registers its value as in-flight BEFORE issuing the put and
+//     settles it with the detectable verdict after — so any read that
+//     observed the value finds it registered;
+//   - a linearized read of v ≠ 0 is a violation unless v is a registered
+//     in-flight or linearized write of that key (a phantom value, or a
+//     value whose write's verdict said *failed*, is a lost/duplicated
+//     effect). Reads mark values observed, so a later fail verdict on an
+//     observed value is also convicted (the verdict lied);
+//   - a linearized read of 0 is a violation only when it is provably
+//     stale: some nonzero write to the key had already SETTLED linearized
+//     before the read began and no deletion was ever begun. Writes merely
+//     concurrent with the read never convict — the check stays sound under
+//     races, it only refuses to miss the steady-state lost update.
+//
+// The final sweep (after every verdict has settled) tightens to: a key
+// must read 0 only if it has no linearized write or has a linearized
+// deletion, and must otherwise read some linearized value.
+type sharedTracker struct {
+	keys []trackedKey
+}
+
+type trackedKey struct {
+	mu   sync.Mutex
+	vals map[int]*writeState
+
+	delBegun      bool
+	delLinearized bool
+	// settledNonzero counts nonzero writes whose linearized verdict has
+	// settled; readers snapshot it (with delBegun) before issuing a read.
+	settledNonzero int
+}
+
+type writeState struct {
+	status   writeStatus
+	observed bool
+}
+
+type writeStatus int
+
+const (
+	writeInflight writeStatus = iota
+	writeLinearized
+	writeFailed
+)
+
+func newSharedTracker(keys int) *sharedTracker {
+	t := &sharedTracker{keys: make([]trackedKey, keys)}
+	for i := range t.keys {
+		t.keys[i].vals = make(map[int]*writeState)
+	}
+	return t
+}
+
+// beginPut registers val (must be nonzero and unique) as in-flight on key k.
+func (t *sharedTracker) beginPut(k, val int) {
+	tk := &t.keys[k]
+	tk.mu.Lock()
+	tk.vals[val] = &writeState{status: writeInflight}
+	tk.mu.Unlock()
+}
+
+// settlePut records val's detectable verdict. It reports a violation when
+// a fail-verdict value had already been observed by a read.
+func (t *sharedTracker) settlePut(k, val int, linearized bool) (violation bool) {
+	tk := &t.keys[k]
+	tk.mu.Lock()
+	defer tk.mu.Unlock()
+	ws := tk.vals[val]
+	if linearized {
+		ws.status = writeLinearized
+		tk.settledNonzero++
+		return false
+	}
+	ws.status = writeFailed
+	return ws.observed
+}
+
+// beginDel / settleDel track deletions (writes of zero).
+func (t *sharedTracker) beginDel(k int) {
+	tk := &t.keys[k]
+	tk.mu.Lock()
+	tk.delBegun = true
+	tk.mu.Unlock()
+}
+
+func (t *sharedTracker) settleDel(k int, linearized bool) {
+	if !linearized {
+		return
+	}
+	tk := &t.keys[k]
+	tk.mu.Lock()
+	tk.delLinearized = true
+	tk.mu.Unlock()
+}
+
+// readPre snapshots key k's registry state before a read is issued; the
+// snapshot decides whether a zero response can convict.
+type readPre struct{ zeroConvicts bool }
+
+func (t *sharedTracker) readBegin(k int) readPre {
+	tk := &t.keys[k]
+	tk.mu.Lock()
+	pre := readPre{zeroConvicts: tk.settledNonzero > 0 && !tk.delBegun}
+	tk.mu.Unlock()
+	return pre
+}
+
+// checkRead validates a linearized read response against the registry,
+// reporting whether it is a detectability violation.
+func (t *sharedTracker) checkRead(k, resp int, pre readPre) (violation bool) {
+	if resp == 0 {
+		return pre.zeroConvicts
+	}
+	tk := &t.keys[k]
+	tk.mu.Lock()
+	defer tk.mu.Unlock()
+	ws, ok := tk.vals[resp]
+	if !ok {
+		return true // value from nowhere
+	}
+	if ws.status == writeFailed {
+		return true // a definitely-not-linearized write became visible
+	}
+	ws.observed = true
+	return false
+}
+
+// checkFinal validates key k's settled value after every verdict has
+// landed: zero is allowed only with no linearized write or with a
+// linearized deletion, and a nonzero value must be a registered write that
+// did not fail. (A still-in-flight value here means some verdict never
+// settled — the run already fails on its indefinite count.)
+func (t *sharedTracker) checkFinal(k, resp int) (violation bool) {
+	tk := &t.keys[k]
+	tk.mu.Lock()
+	defer tk.mu.Unlock()
+	if resp == 0 {
+		return tk.settledNonzero > 0 && !tk.delLinearized
+	}
+	ws, ok := tk.vals[resp]
+	return !ok || ws.status == writeFailed
+}
+
+// verify folds one worker's operation outcomes into the run's violation
+// and indefinite counters, via the per-key write registry in shared (zipf)
+// mode or the per-process expected-value map in uniform mode. The key
+// index k always indexes the global key list; uniform mode ignores it.
+type verify struct {
+	tr                     *sharedTracker // shared mode
+	exp                    map[string]int // uniform mode
+	violations, indefinite *atomic.Uint64
+}
+
+func newVerify(tr *sharedTracker, violations, indefinite *atomic.Uint64) *verify {
+	v := &verify{tr: tr, violations: violations, indefinite: indefinite}
+	if tr == nil {
+		v.exp = make(map[string]int)
+	}
+	return v
+}
+
+func (v *verify) readBegin(k int) readPre {
+	if v.tr == nil {
+		return readPre{}
+	}
+	return v.tr.readBegin(k)
+}
+
+func (v *verify) get(k int, key string, pre readPre, out runtime.Outcome[int]) {
+	if !out.Status.Linearized() {
+		return
+	}
+	if v.tr != nil {
+		if v.tr.checkRead(k, out.Resp, pre) {
+			v.violations.Add(1)
+		}
+		return
+	}
+	if out.Resp != v.exp[key] {
+		v.violations.Add(1)
+	}
+}
+
+func (v *verify) beginPut(k, val int) {
+	if v.tr != nil {
+		v.tr.beginPut(k, val)
+	}
+}
+
+func (v *verify) put(k int, key string, val int, out runtime.Outcome[int]) {
+	if v.tr == nil {
+		apply(out, key, val, v.exp, v.violations, v.indefinite)
+		return
+	}
+	switch out.Status {
+	case runtime.StatusOK, runtime.StatusRecovered:
+		if v.tr.settlePut(k, val, true) {
+			v.violations.Add(1)
+		}
+	case runtime.StatusFailed, runtime.StatusNotInvoked:
+		if v.tr.settlePut(k, val, false) {
+			v.violations.Add(1)
+		}
+	default:
+		v.indefinite.Add(1)
+	}
+}
+
+func (v *verify) beginDel(k int) {
+	if v.tr != nil {
+		v.tr.beginDel(k)
+	}
+}
+
+func (v *verify) del(k int, key string, out runtime.Outcome[int]) {
+	if v.tr == nil {
+		apply(out, key, 0, v.exp, v.violations, v.indefinite)
+		return
+	}
+	switch out.Status {
+	case runtime.StatusOK, runtime.StatusRecovered:
+		v.tr.settleDel(k, true)
+	case runtime.StatusFailed, runtime.StatusNotInvoked:
+		v.tr.settleDel(k, false)
+	default:
+		v.indefinite.Add(1)
+	}
+}

@@ -2,16 +2,28 @@
 // detectable key-value store (internal/shardkv) and reports aggregate and
 // per-shard throughput.
 //
-// Each process owns a disjoint slice of the key space and tracks, in
-// volatile memory, the value every one of its keys must hold given the
-// detectable verdict of each operation: a linearized put/del updates the
-// expectation, a definite fail leaves it unchanged. Reads and a final sweep
-// compare the store against the expectation, so any lost or duplicated
-// effect — a detectability violation — is counted and fails the run. The
-// crash-storm mix additionally fails random single shards from a storm
-// goroutine and injects planned crashes into individual operations; the run
-// still must end with zero violations: every crashed operation resolves to
-// a definite outcome.
+// With the default uniform distribution each process owns a disjoint slice
+// of the key space and tracks, in volatile memory, the value every one of
+// its keys must hold given the detectable verdict of each operation: a
+// linearized put/del updates the expectation, a definite fail leaves it
+// unchanged. Reads and a final sweep compare the store against the
+// expectation, so any lost or duplicated effect — a detectability
+// violation — is counted and fails the run. The crash-storm mix
+// additionally fails random single shards from a storm goroutine and
+// injects planned crashes into individual operations; the run still must
+// end with zero violations: every crashed operation resolves to a definite
+// outcome.
+//
+// With -dist zipf every process draws from the FULL key space through a
+// seeded Zipfian chooser (-theta sets the skew; rank 0 is the hottest
+// key), so processes genuinely contend on shared hot keys — the regime the
+// lock-free key table and striped telemetry exist for. Exact expectations
+// are impossible under sharing, so verification switches to a per-key
+// write registry (see sharedTracker in dist.go) that still convicts every
+// phantom value, every visible failed write and every provably stale zero;
+// the bar stays zero violations. -mput N turns the write side of any mix
+// into N-entry MultiPut batches (the large-mutation mix), each entry
+// verified individually.
 //
 // With -remote the same workload and the same expected-value verification
 // run against a live kvserverd over TCP instead of the in-process store.
@@ -27,6 +39,7 @@
 //
 //	loadgen [-mix read-heavy|write-heavy|mixed|crash-storm] [-procs 4]
 //	        [-shards 4] [-keys 64] [-dur 1s] [-seed 1] [-v]
+//	        [-dist uniform|zipf] [-theta 0.99] [-mput 0]
 //	        [-remote host:port | -remote self]
 package main
 
@@ -74,6 +87,9 @@ func main() {
 	dur := flag.Duration("dur", time.Second, "run duration")
 	seed := flag.Int64("seed", 1, "randomness seed")
 	verbose := flag.Bool("v", false, "print the per-shard breakdown")
+	dist := flag.String("dist", "uniform", "key distribution: uniform (disjoint per-process keys) or zipf (shared hot keys)")
+	theta := flag.Float64("theta", 0.99, "Zipfian skew exponent for -dist zipf (0 = uniform over the shared space)")
+	mput := flag.Int("mput", 0, "batch the write side of the mix into MultiPuts of this many entries (0 = single-key puts)")
 	remote := flag.String("remote", "", "drive a kvserverd at host:port instead of the in-process store (\"self\" starts one on a loopback port)")
 	restartStorm := flag.Bool("restart-storm", false, "whole-process crash mode: spawn a durable kvserverd (-server-bin, -data) and SIGKILL/restart it mid-workload")
 	serverBin := flag.String("server-bin", "", "kvserverd binary for -restart-storm")
@@ -82,16 +98,22 @@ func main() {
 	restartEvery := flag.Duration("restart-every", 700*time.Millisecond, "delay between SIGKILLs for -restart-storm")
 	serverArgs := flag.String("server-args", "", "extra kvserverd flags for -restart-storm, space-separated (e.g. \"-epoch-interval 2ms\")")
 	flag.Parse()
-	var err error
+	cfg := wlCfg{
+		mixName: *mix, dist: *dist, theta: *theta, mput: *mput,
+		procs: *procs, shards: *shards, keys: *keys,
+		dur: *dur, seed: *seed, verbose: *verbose,
+	}
+	err := cfg.validate()
 	switch {
+	case err != nil:
 	case *restartStorm && *remote != "":
 		err = fmt.Errorf("-restart-storm spawns its own server; drop -remote")
 	case *restartStorm:
-		err = runRestartStorm(*serverBin, *dataDir, *mix, *procs, *shards, *keys, *dur, *seed, *restarts, *restartEvery, *serverArgs, *verbose)
+		err = runRestartStorm(*serverBin, *dataDir, &cfg, *restarts, *restartEvery, *serverArgs)
 	case *remote != "":
-		err = runRemote(*remote, *mix, *procs, *shards, *keys, *dur, *seed, *verbose)
+		err = runRemote(*remote, &cfg)
 	default:
-		err = run(*mix, *procs, *shards, *keys, *dur, *seed, *verbose)
+		err = run(&cfg)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "loadgen:", err)
@@ -99,17 +121,21 @@ func main() {
 	}
 }
 
-func run(mix string, procs, shards, keys int, dur time.Duration, seed int64, verbose bool) error {
-	spec, ok := mixes[mix]
-	if !ok {
-		return fmt.Errorf("unknown mix %q (want read-heavy, write-heavy, mixed or crash-storm)", mix)
-	}
-	if procs < 1 || shards < 1 || keys < procs {
-		return fmt.Errorf("need procs ≥ 1, shards ≥ 1 and keys ≥ procs (got procs=%d shards=%d keys=%d)", procs, shards, keys)
-	}
-
-	s := shardkv.New(shards, procs)
+func run(cfg *wlCfg) error {
+	spec := cfg.spec
+	s := shardkv.New(cfg.shards, cfg.procs)
 	var violations, indefinite atomic.Uint64
+	names := keyNames(cfg.keys)
+	var tracker *sharedTracker
+	if cfg.shared() {
+		tracker = newSharedTracker(cfg.keys)
+		// Zero the shared key space first: registry verification classifies
+		// every observed value, so a value left by an earlier run against
+		// the same store would read as a phantom.
+		for _, key := range names {
+			s.PutRetry(0, key, 0)
+		}
+	}
 
 	// Per-shard crash storm: fail one random shard at a time; the others
 	// keep serving.
@@ -119,7 +145,7 @@ func run(mix string, procs, shards, keys int, dur time.Duration, seed int64, ver
 		storm.Add(1)
 		go func() {
 			defer storm.Done()
-			rng := rand.New(rand.NewSource(seed ^ 0x5707))
+			rng := rand.New(rand.NewSource(cfg.seed ^ 0x5707))
 			tick := time.NewTicker(spec.stormEvery)
 			defer tick.Stop()
 			for {
@@ -127,66 +153,95 @@ func run(mix string, procs, shards, keys int, dur time.Duration, seed int64, ver
 				case <-stop:
 					return
 				case <-tick.C:
-					s.CrashShard(rng.Intn(shards))
+					s.CrashShard(rng.Intn(cfg.shards))
 				}
 			}
 		}()
 	}
 
-	expected := make([]map[string]int, procs)
+	expected := make([]map[string]int, cfg.procs)
 	start := time.Now()
-	deadline := start.Add(dur)
+	deadline := start.Add(cfg.dur)
 	var wg sync.WaitGroup
-	for p := 0; p < procs; p++ {
+	for p := 0; p < cfg.procs; p++ {
 		wg.Add(1)
 		go func(pid int) {
 			defer wg.Done()
-			rng := rand.New(rand.NewSource(seed + int64(pid)*1001))
-			own := ownKeys(pid, procs, keys)
-			exp := make(map[string]int)
-			for i := 0; time.Now().Before(deadline); i++ {
-				key := own[rng.Intn(len(own))]
+			rng := cfg.workerRNG(pid)
+			ch := cfg.chooserFor(pid, rng)
+			v := newVerify(tracker, &violations, &indefinite)
+			nextVal := 0
+			newVal := func() int { nextVal++; return pid*1_000_000_000 + nextVal }
+			var entries []shardkv.KV
+			var ki []int
+			for time.Now().Before(deadline) {
+				k := ch.next()
+				key := names[k]
 				var plan nvm.CrashPlan
 				if spec.planEvery > 0 && rng.Intn(spec.planEvery) == 0 {
 					plan = nvm.CrashAtStep(uint64(1 + rng.Intn(14)))
 				}
 				switch r := rng.Intn(100); {
 				case r < spec.getPct:
-					out := s.Get(pid, key, plan)
-					if out.Status.Linearized() && out.Resp != exp[key] {
-						violations.Add(1)
-					}
+					pre := v.readBegin(k)
+					v.get(k, key, pre, s.Get(pid, key, plan))
 				case r < spec.getPct+spec.putPct:
-					val := pid*1_000_000 + i
-					apply(s.Put(pid, key, val, plan), key, val, exp, &violations, &indefinite)
+					if cfg.mput > 0 {
+						entries, ki = entries[:0], ki[:0]
+						for j := 0; j < cfg.mput; j++ {
+							kk := ch.next()
+							val := newVal()
+							entries = append(entries, shardkv.KV{Key: names[kk], Val: val})
+							ki = append(ki, kk)
+							v.beginPut(kk, val)
+						}
+						for j, out := range s.MultiPut(pid, entries) {
+							v.put(ki[j], entries[j].Key, entries[j].Val, out)
+						}
+					} else {
+						val := newVal()
+						v.beginPut(k, val)
+						v.put(k, key, val, s.Put(pid, key, val, plan))
+					}
 				default:
-					apply(s.Del(pid, key, plan), key, 0, exp, &violations, &indefinite)
+					v.beginDel(k)
+					v.del(k, key, s.Del(pid, key, plan))
 				}
 			}
-			expected[pid] = exp
+			expected[pid] = v.exp
 		}(p)
 	}
 	wg.Wait()
 	// Snapshot throughput over the measured window only; the verification
 	// sweep below is bookkeeping, not serving.
 	elapsed := time.Since(start)
-	snaps := make([]shardkv.StatsSnapshot, shards)
+	snaps := make([]shardkv.StatsSnapshot, cfg.shards)
 	for i := range snaps {
 		snaps[i] = s.StatsFor(i)
 	}
 	close(stop)
 	storm.Wait()
 
-	// Final sweep: the store must match every owner's expectation exactly.
-	for pid, exp := range expected {
-		for _, key := range ownKeys(pid, procs, keys) {
-			if got := s.GetRetry(pid, key); got != exp[key] {
+	// Final sweep: every owner's expectation must hold exactly (uniform),
+	// or every key's settled value must be explained by the write registry
+	// (shared).
+	if tracker != nil {
+		for k, key := range names {
+			if tracker.checkFinal(k, s.GetRetry(0, key)) {
 				violations.Add(1)
+			}
+		}
+	} else {
+		for pid, exp := range expected {
+			for _, key := range ownKeys(pid, cfg.procs, cfg.keys) {
+				if got := s.GetRetry(pid, key); got != exp[key] {
+					violations.Add(1)
+				}
 			}
 		}
 	}
 
-	report(snaps, mix, procs, elapsed, verbose)
+	report(snaps, cfg, elapsed)
 	if n := indefinite.Load(); n > 0 {
 		return fmt.Errorf("%d operations ended without a definite outcome", n)
 	}
@@ -218,7 +273,7 @@ func ownKeys(pid, procs, keys int) []string {
 	return own
 }
 
-func report(snaps []shardkv.StatsSnapshot, mix string, procs int, elapsed time.Duration, verbose bool) {
+func report(snaps []shardkv.StatsSnapshot, cfg *wlCfg, elapsed time.Duration) {
 	secs := elapsed.Seconds()
 	if secs == 0 {
 		secs = 1 // a -dur=0 run serves no measured window at all
@@ -227,14 +282,19 @@ func report(snaps []shardkv.StatsSnapshot, mix string, procs int, elapsed time.D
 	for _, st := range snaps {
 		total = total.Add(st)
 	}
-	fmt.Printf("mix=%s procs=%d shards=%d elapsed=%s\n", mix, procs, len(snaps), elapsed.Round(time.Millisecond))
+	distDesc := cfg.dist
+	if cfg.shared() {
+		distDesc = fmt.Sprintf("zipf(theta=%g)", cfg.theta)
+	}
+	fmt.Printf("mix=%s dist=%s mput=%d procs=%d shards=%d elapsed=%s\n",
+		cfg.mixName, distDesc, cfg.mput, cfg.procs, len(snaps), elapsed.Round(time.Millisecond))
 	fmt.Printf("aggregate: %d ops (%.0f ops/sec) — gets=%d puts=%d dels=%d\n",
 		total.Ops(), float64(total.Ops())/secs, total.Gets, total.Puts, total.Dels)
 	fmt.Printf("verdicts:  ok=%d recovered=%d failed=%d not-invoked=%d retries=%d\n",
 		total.OK, total.Recovered, total.Failed, total.NotInvoked, total.Retries)
 	fmt.Printf("crashes:   injected=%d interruptions-observed=%d\n",
 		total.CrashesInjected, total.CrashesSeen)
-	if !verbose {
+	if !cfg.verbose {
 		return
 	}
 	fmt.Printf("%6s %10s %12s %10s %8s %8s %8s\n", "shard", "ops", "ops/sec", "recovered", "failed", "crashes", "retries")

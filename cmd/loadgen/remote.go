@@ -17,23 +17,18 @@ import (
 // expected-value verification, but every operation travels through a
 // client session to a live kvserverd, and the crash-storm mix additionally
 // severs worker connections so session resumption is exercised under load.
-func runRemote(addr, mix string, procs, shards, keys int, dur time.Duration, seed int64, verbose bool) error {
-	spec, ok := mixes[mix]
-	if !ok {
-		return fmt.Errorf("unknown mix %q (want read-heavy, write-heavy, mixed or crash-storm)", mix)
-	}
-	if procs < 1 || keys < procs {
-		return fmt.Errorf("need procs ≥ 1 and keys ≥ procs (got procs=%d keys=%d)", procs, keys)
-	}
+func runRemote(addr string, cfg *wlCfg) error {
+	spec := cfg.spec
+	procs := cfg.procs
 
 	if addr == "self" {
-		srv := server.New(shardkv.New(shards, procs))
+		srv := server.New(shardkv.New(cfg.shards, procs))
 		if err := srv.Listen("127.0.0.1:0"); err != nil {
 			return err
 		}
 		defer srv.Close()
 		addr = srv.Addr().String()
-		fmt.Printf("self-hosted server: addr=%s shards=%d procs=%d\n", addr, shards, procs)
+		fmt.Printf("self-hosted server: addr=%s shards=%d procs=%d\n", addr, cfg.shards, procs)
 	}
 
 	// Observer sessions (no process slot) for stats windows and the storm.
@@ -59,7 +54,7 @@ func runRemote(addr, mix string, procs, shards, keys int, dur time.Duration, see
 		go func() {
 			defer storm.Done()
 			defer stormC.Close()
-			rng := rand.New(rand.NewSource(seed ^ 0x5707))
+			rng := rand.New(rand.NewSource(cfg.seed ^ 0x5707))
 			tick := time.NewTicker(spec.stormEvery)
 			defer tick.Stop()
 			for {
@@ -85,8 +80,21 @@ func runRemote(addr, mix string, procs, shards, keys int, dur time.Duration, see
 		defer clients[p].Close()
 	}
 
+	names := keyNames(cfg.keys)
+	var tracker *sharedTracker
+	if cfg.shared() {
+		tracker = newSharedTracker(cfg.keys)
+		// Zero the shared key space first: registry verification classifies
+		// every observed value, so a value left by an earlier run against
+		// the same server would read as a phantom.
+		for _, key := range names {
+			if _, err := clients[0].PutRetry(key, 0); err != nil {
+				return fmt.Errorf("zeroing %s: %w", key, err)
+			}
+		}
+	}
 	start := time.Now()
-	deadline := start.Add(dur)
+	deadline := start.Add(cfg.dur)
 	var wg sync.WaitGroup
 	expected := make([]map[string]int, procs)
 	for p := 0; p < procs; p++ {
@@ -94,12 +102,17 @@ func runRemote(addr, mix string, procs, shards, keys int, dur time.Duration, see
 		go func(pid int) {
 			defer wg.Done()
 			c := clients[pid]
-			rng := rand.New(rand.NewSource(seed + int64(pid)*1001))
-			own := ownKeys(pid, procs, keys)
-			exp := make(map[string]int)
-			defer func() { expected[pid] = exp }()
-			for i := 0; time.Now().Before(deadline); i++ {
-				key := own[rng.Intn(len(own))]
+			rng := cfg.workerRNG(pid)
+			ch := cfg.chooserFor(pid, rng)
+			v := newVerify(tracker, &violations, &indefinite)
+			nextVal := 0
+			newVal := func() int { nextVal++; return pid*1_000_000_000 + nextVal }
+			var entries []shardkv.KV
+			var ki []int
+			defer func() { expected[pid] = v.exp }()
+			for time.Now().Before(deadline) {
+				k := ch.next()
+				key := names[k]
 				var plan []uint32
 				if spec.planEvery > 0 && rng.Intn(spec.planEvery) == 0 {
 					plan = []uint32{uint32(1 + rng.Intn(14))}
@@ -119,19 +132,37 @@ func runRemote(addr, mix string, procs, shards, keys int, dur time.Duration, see
 				)
 				switch r := rng.Intn(100); {
 				case r < spec.getPct:
+					pre := v.readBegin(k)
 					if out, err = c.Get(key, plan...); err == nil {
-						if out.Status.Linearized() && out.Resp != exp[key] {
-							violations.Add(1)
-						}
+						v.get(k, key, pre, out)
 					}
 				case r < spec.getPct+spec.putPct:
-					val := pid*1_000_000 + i
-					if out, err = c.Put(key, val, plan...); err == nil {
-						apply(out, key, val, exp, &violations, &indefinite)
+					if cfg.mput > 0 {
+						entries, ki = entries[:0], ki[:0]
+						for j := 0; j < cfg.mput; j++ {
+							kk := ch.next()
+							val := newVal()
+							entries = append(entries, shardkv.KV{Key: names[kk], Val: val})
+							ki = append(ki, kk)
+							v.beginPut(kk, val)
+						}
+						var outs []runtime.Outcome[int]
+						if outs, err = c.MultiPut(entries); err == nil {
+							for j, out := range outs {
+								v.put(ki[j], entries[j].Key, entries[j].Val, out)
+							}
+						}
+					} else {
+						val := newVal()
+						v.beginPut(k, val)
+						if out, err = c.Put(key, val, plan...); err == nil {
+							v.put(k, key, val, out)
+						}
 					}
 				default:
+					v.beginDel(k)
 					if out, err = c.Del(key, plan...); err == nil {
-						apply(out, key, 0, exp, &violations, &indefinite)
+						v.del(k, key, out)
 					}
 				}
 				if err != nil {
@@ -159,15 +190,29 @@ func runRemote(addr, mix string, procs, shards, keys int, dur time.Duration, see
 	}
 
 	// Final sweep over the wire: the server must match every owner's
-	// expectation exactly, connection kills and shard crashes included.
-	for pid, exp := range expected {
-		for _, key := range ownKeys(pid, procs, keys) {
-			got, err := clients[pid].GetRetry(key)
+	// expectation exactly (uniform) or every key's settled value must be
+	// explained by the write registry (shared), connection kills and shard
+	// crashes included.
+	if tracker != nil {
+		for k, key := range names {
+			got, err := clients[0].GetRetry(key)
 			if err != nil {
-				return fmt.Errorf("sweep worker %d: %w", pid, err)
+				return fmt.Errorf("sweep: %w", err)
 			}
-			if got != exp[key] {
+			if tracker.checkFinal(k, got) {
 				violations.Add(1)
+			}
+		}
+	} else {
+		for pid, exp := range expected {
+			for _, key := range ownKeys(pid, procs, cfg.keys) {
+				got, err := clients[pid].GetRetry(key)
+				if err != nil {
+					return fmt.Errorf("sweep worker %d: %w", pid, err)
+				}
+				if got != exp[key] {
+					violations.Add(1)
+				}
 			}
 		}
 	}
@@ -180,7 +225,7 @@ func runRemote(addr, mix string, procs, shards, keys int, dur time.Duration, see
 	for i := range snaps {
 		snaps[i] = after[i].Sub(before[i])
 	}
-	report(snaps, mix, procs, elapsed, verbose)
+	report(snaps, cfg, elapsed)
 	fmt.Printf("sessions:  workers=%d connection-resumes=%d\n", procs, resumes)
 	if n := indefinite.Load(); n > 0 {
 		return fmt.Errorf("%d operations ended without a definite outcome", n)

@@ -2,7 +2,6 @@ package main
 
 import (
 	"fmt"
-	"math/rand"
 	"net"
 	"os"
 	"os/exec"
@@ -15,6 +14,7 @@ import (
 
 	"detectable/internal/client"
 	"detectable/internal/runtime"
+	"detectable/internal/shardkv"
 )
 
 // runRestartStorm is the whole-process crash mode: it launches a real
@@ -27,16 +27,10 @@ import (
 // server had released one, or a fresh exactly-once execution when it had
 // not. The bar is unchanged from every other mix: zero detectability
 // violations, now across whole-process crash/restart boundaries.
-func runRestartStorm(bin, dataDir, mix string, procs, shards, keys int,
-	dur time.Duration, seed int64, restarts int, restartEvery time.Duration,
-	serverArgs string, verbose bool) (err error) {
-	spec, ok := mixes[mix]
-	if !ok {
-		return fmt.Errorf("unknown mix %q (want read-heavy, write-heavy, mixed or crash-storm)", mix)
-	}
-	if procs < 1 || shards < 1 || keys < procs {
-		return fmt.Errorf("need procs ≥ 1, shards ≥ 1 and keys ≥ procs (got procs=%d shards=%d keys=%d)", procs, shards, keys)
-	}
+func runRestartStorm(bin, dataDir string, cfg *wlCfg,
+	restarts int, restartEvery time.Duration, serverArgs string) (err error) {
+	spec := cfg.spec
+	procs := cfg.procs
 	if restarts < 1 {
 		return fmt.Errorf("need -restarts ≥ 1 (got %d)", restarts)
 	}
@@ -58,7 +52,7 @@ func runRestartStorm(bin, dataDir, mix string, procs, shards, keys int,
 	}
 	args := []string{
 		"-addr", addr,
-		"-shards", strconv.Itoa(shards),
+		"-shards", strconv.Itoa(cfg.shards),
 		"-procs", strconv.Itoa(procs),
 		"-data", dataDir,
 	}
@@ -110,7 +104,7 @@ func runRestartStorm(bin, dataDir, mix string, procs, shards, keys int,
 		stormErr               error
 	)
 	start := time.Now()
-	deadline := start.Add(dur)
+	deadline := start.Add(cfg.dur)
 
 	// The storm: SIGKILL the server mid-workload, restart it from the same
 	// data directory, wait for it to accept again. The loop keeps killing
@@ -148,6 +142,19 @@ func runRestartStorm(bin, dataDir, mix string, procs, shards, keys int,
 
 	hardErrs := make([]error, procs)
 	expected := make([]map[string]int, procs)
+	names := keyNames(cfg.keys)
+	var tracker *sharedTracker
+	if cfg.shared() {
+		tracker = newSharedTracker(cfg.keys)
+		// Zero the shared key space first: registry verification classifies
+		// every observed value, so a value recovered from an earlier run's
+		// data directory would read as a phantom.
+		for _, key := range names {
+			if _, err := clients[0].PutRetry(key, 0); err != nil {
+				return fmt.Errorf("zeroing %s: %w", key, err)
+			}
+		}
+	}
 	var totalOps atomic.Uint64
 	var wg sync.WaitGroup
 	for p := 0; p < procs; p++ {
@@ -160,17 +167,22 @@ func runRestartStorm(bin, dataDir, mix string, procs, shards, keys int,
 				}
 			}()
 			c := clients[pid]
-			rng := rand.New(rand.NewSource(seed + int64(pid)*1001))
-			own := ownKeys(pid, procs, keys)
-			exp := make(map[string]int)
-			defer func() { expected[pid] = exp }()
-			for i := 0; ; i++ {
+			rng := cfg.workerRNG(pid)
+			ch := cfg.chooserFor(pid, rng)
+			v := newVerify(tracker, &violations, &indefinite)
+			nextVal := 0
+			newVal := func() int { nextVal++; return pid*1_000_000_000 + nextVal }
+			var entries []shardkv.KV
+			var ki []int
+			defer func() { expected[pid] = v.exp }()
+			for {
 				select {
 				case <-stop:
 					return
 				default:
 				}
-				key := own[rng.Intn(len(own))]
+				k := ch.next()
+				key := names[k]
 				var plan []uint32
 				if spec.planEvery > 0 && rng.Intn(spec.planEvery) == 0 {
 					plan = []uint32{uint32(1 + rng.Intn(14))}
@@ -188,19 +200,37 @@ func runRestartStorm(bin, dataDir, mix string, procs, shards, keys int,
 				)
 				switch r := rng.Intn(100); {
 				case r < spec.getPct:
+					pre := v.readBegin(k)
 					if out, err = c.Get(key, plan...); err == nil {
-						if out.Status.Linearized() && out.Resp != exp[key] {
-							violations.Add(1)
-						}
+						v.get(k, key, pre, out)
 					}
 				case r < spec.getPct+spec.putPct:
-					val := pid*1_000_000 + i
-					if out, err = c.Put(key, val, plan...); err == nil {
-						apply(out, key, val, exp, &violations, &indefinite)
+					if cfg.mput > 0 {
+						entries, ki = entries[:0], ki[:0]
+						for j := 0; j < cfg.mput; j++ {
+							kk := ch.next()
+							val := newVal()
+							entries = append(entries, shardkv.KV{Key: names[kk], Val: val})
+							ki = append(ki, kk)
+							v.beginPut(kk, val)
+						}
+						var outs []runtime.Outcome[int]
+						if outs, err = c.MultiPut(entries); err == nil {
+							for j, out := range outs {
+								v.put(ki[j], entries[j].Key, entries[j].Val, out)
+							}
+						}
+					} else {
+						val := newVal()
+						v.beginPut(k, val)
+						if out, err = c.Put(key, val, plan...); err == nil {
+							v.put(k, key, val, out)
+						}
 					}
 				default:
+					v.beginDel(k)
 					if out, err = c.Del(key, plan...); err == nil {
-						apply(out, key, 0, exp, &violations, &indefinite)
+						v.del(k, key, out)
 					}
 				}
 				if err != nil {
@@ -225,15 +255,28 @@ func runRestartStorm(bin, dataDir, mix string, procs, shards, keys int,
 	}
 
 	// Final sweep over the final server incarnation: the durably recovered
-	// store must match every owner's expectation exactly, SIGKILLs included.
-	for pid, exp := range expected {
-		for _, key := range ownKeys(pid, procs, keys) {
-			got, err := clients[pid].GetRetry(key)
+	// store must match every owner's expectation exactly (uniform) or the
+	// write registry (shared), SIGKILLs included.
+	if tracker != nil {
+		for k, key := range names {
+			got, err := clients[0].GetRetry(key)
 			if err != nil {
-				return fmt.Errorf("sweep worker %d: %w", pid, err)
+				return fmt.Errorf("sweep: %w", err)
 			}
-			if got != exp[key] {
+			if tracker.checkFinal(k, got) {
 				violations.Add(1)
+			}
+		}
+	} else {
+		for pid, exp := range expected {
+			for _, key := range ownKeys(pid, procs, cfg.keys) {
+				got, err := clients[pid].GetRetry(key)
+				if err != nil {
+					return fmt.Errorf("sweep worker %d: %w", pid, err)
+				}
+				if got != exp[key] {
+					violations.Add(1)
+				}
 			}
 		}
 	}
@@ -243,10 +286,15 @@ func runRestartStorm(bin, dataDir, mix string, procs, shards, keys int,
 		c.Close() //nolint:errcheck
 	}
 
-	fmt.Printf("restart-storm: mix=%s procs=%d shards=%d elapsed=%s\n", mix, procs, shards, elapsed.Round(time.Millisecond))
+	distDesc := cfg.dist
+	if cfg.shared() {
+		distDesc = fmt.Sprintf("zipf(theta=%g)", cfg.theta)
+	}
+	fmt.Printf("restart-storm: mix=%s dist=%s mput=%d procs=%d shards=%d elapsed=%s\n",
+		cfg.mixName, distDesc, cfg.mput, procs, cfg.shards, elapsed.Round(time.Millisecond))
 	fmt.Printf("aggregate: %d ops (%.0f ops/sec) across %d SIGKILL/restart cycles, %d session resumes\n",
 		totalOps.Load(), float64(totalOps.Load())/elapsed.Seconds(), cycles.Load(), resumes)
-	if verbose {
+	if cfg.verbose {
 		fmt.Printf("data dir: %s (kept for inspection)\n", dataDir)
 	}
 	if int(cycles.Load()) < restarts {

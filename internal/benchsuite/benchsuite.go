@@ -12,14 +12,17 @@ package benchsuite
 
 import (
 	"fmt"
+	"math/rand"
 	"sync"
 	"testing"
 
 	"detectable/internal/history"
+	"detectable/internal/kv"
 	"detectable/internal/rcas"
 	"detectable/internal/runtime"
 	"detectable/internal/rw"
 	"detectable/internal/shardkv"
+	"detectable/internal/workload"
 )
 
 // ringSystem returns an N-process system with the production (ring)
@@ -58,6 +61,88 @@ func ShardKV(shards, procs int) func(b *testing.B) {
 					} else {
 						s.PutRetry(pid, k, i)
 					}
+				}
+			}(p)
+		}
+		wg.Wait()
+	}
+}
+
+// ShardKVZipf returns the skewed-workload body: procs concurrent processes
+// draw keys from a seeded Zipfian distribution over a 256-key space spread
+// across shards partitions, with a 3:1 get:put mix — the hot-key regime
+// where one shard absorbs most of the traffic and the key table's read
+// path dominates. locked selects the RWMutex-guarded seed key table
+// instead of the lock-free copy-on-write one, so the trajectory records
+// both sides of the comparison.
+func ShardKVZipf(shards, procs int, theta float64, locked bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		var opts []shardkv.Option
+		if locked {
+			opts = append(opts, shardkv.LockedKeyTable())
+		}
+		s := shardkv.New(shards, procs, opts...)
+		keys := make([]string, 256)
+		for i := range keys {
+			keys[i] = fmt.Sprintf("key-%d", i)
+			s.PutRetry(0, keys[i], 0) // pre-create the registers
+		}
+		var wg sync.WaitGroup
+		each := b.N/procs + 1
+		b.ResetTimer()
+		for p := 0; p < procs; p++ {
+			wg.Add(1)
+			go func(pid int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(workload.WorkerSeed(1, procs, pid)))
+				z := workload.NewZipf(rng, len(keys), theta)
+				for i := 0; i < each; i++ {
+					k := keys[z.Next()]
+					if i%4 == 0 {
+						s.PutRetry(pid, k, i)
+					} else {
+						s.GetRetry(pid, k)
+					}
+				}
+			}(p)
+		}
+		wg.Wait()
+	}
+}
+
+// KeyTableReadZipf isolates the key-table read path the PR 8 tentpole
+// replaced: procs concurrent readers resolve Zipfian-drawn keys through
+// Store.Peek, so the measured cost is one table lookup plus a plain
+// register load — nothing else. Under skew every reader hits the same few
+// map entries; the RWMutex table serializes them on the lock word's cache
+// line while the copy-on-write table is one uncontended atomic load, which
+// is the regression gate BENCH_PR8.json pins.
+func KeyTableReadZipf(procs int, theta float64, locked bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		sys := ringSystem(procs)
+		mk := kv.New
+		if locked {
+			mk = kv.NewLocked
+		}
+		s := mk(sys)
+		keys := make([]string, 256)
+		for i := range keys {
+			keys[i] = fmt.Sprintf("key-%d", i)
+			s.PutRetry(0, keys[i], i)
+		}
+		var wg sync.WaitGroup
+		each := b.N/procs + 1
+		b.ResetTimer()
+		for p := 0; p < procs; p++ {
+			wg.Add(1)
+			go func(pid int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(workload.WorkerSeed(1, procs, pid)))
+				z := workload.NewZipf(rng, len(keys), theta)
+				for i := 0; i < each; i++ {
+					s.Peek(keys[z.Next()])
 				}
 			}(p)
 		}
@@ -157,6 +242,18 @@ func Curated() []Named {
 			Name:  fmt.Sprintf("BenchmarkShardKVMultiPut/shards=%d", shards),
 			Bench: ShardKVMultiPut(shards),
 		})
+	}
+	for _, theta := range []float64{0.9, 1.2} {
+		for _, table := range []string{"lockfree", "locked"} {
+			out = append(out, Named{
+				Name:  fmt.Sprintf("BenchmarkShardKVZipf/theta=%g/table=%s", theta, table),
+				Bench: ShardKVZipf(4, 8, theta, table == "locked"),
+			})
+			out = append(out, Named{
+				Name:  fmt.Sprintf("BenchmarkKeyTableReadZipf/theta=%g/table=%s", theta, table),
+				Bench: KeyTableReadZipf(8, theta, table == "locked"),
+			})
+		}
 	}
 	for _, shards := range []int{1, 8} {
 		out = append(out, Named{

@@ -12,13 +12,17 @@
 //   - ModeFull (the zero value): an unbounded, mutex-guarded slice. Every
 //     event is retained, so the durable-linearizability and detectability
 //     checkers can replay complete executions. Verification tests use this.
-//   - ModeRing: a fixed-capacity power-of-two ring. Appends reserve a slot
-//     with one atomic ticket increment and synchronize only with appends
-//     that collide on the same slot (a wrap-around later), so the log adds
-//     no global serialization to the operation hot path. The most recent
-//     events survive for diagnostics; Events reconstructs their order from
-//     the per-slot sequence numbers. Production paths (internal/shardkv)
-//     default to this.
+//   - ModeRing: a fixed-capacity ring of one or more power-of-two
+//     sub-rings (stripes). Appends reserve a slot with one atomic ticket
+//     increment on their stripe and synchronize only with appends that
+//     collide on the same slot (a wrap-around later), so the log adds no
+//     global serialization to the operation hot path. With a single stripe
+//     (NewRing) the ticket is shared and the reconstructed order is the
+//     real-time append order; NewShardedRing stripes the ticket by pid so
+//     a hot shard's processes stop contending on one counter — trading
+//     cross-stripe real-time order for a deterministic per-writer-ordered
+//     interleaving (see Events). Production paths (internal/shardkv)
+//     default to the sharded form.
 //   - ModeOff: events are discarded. Benchmark floors use this.
 package history
 
@@ -109,7 +113,7 @@ func (e Event) String() string {
 	}
 }
 
-// slot is one ring entry. seq is 1+ticket of the event currently stored
+// slot is one ring entry. seq is the event's global sequence number
 // (0 while empty); all fields are guarded by the slot's own mutex, so an
 // append contends only with a reader or with the rare append that wrapped
 // around onto the same slot. args is the slot-owned argument buffer the
@@ -123,6 +127,15 @@ type slot struct {
 	args []int
 }
 
+// stripe is one sub-ring: a private ticket plus its slots. The ticket sits
+// on its own cache-line pair so hot stripes never false-share counters.
+type stripe struct {
+	ticket atomic.Uint64
+	_      [120]byte
+	slots  []slot
+	mask   uint64
+}
+
 // Log is an append-only, concurrency-safe event log. The zero value is a
 // ModeFull log, ready to use.
 type Log struct {
@@ -132,20 +145,51 @@ type Log struct {
 	mu     sync.Mutex
 	events []Event
 
-	// ModeRing state.
-	ticket atomic.Uint64
-	slots  []slot
-	mask   uint64
+	// ModeOff state: a discard counter.
+	discarded atomic.Uint64
+
+	// ModeRing state: one or more sub-rings. An append picks its stripe by
+	// the event's PID, takes one ticket there, and derives a globally
+	// unique sequence number seq = (ticket-1)*len(stripes) + stripeIdx + 1.
+	// Per-stripe tickets increase, so seq is monotone within a stripe (and
+	// therefore per pid); Events merges stripes by seq.
+	stripes []stripe
 }
 
-// NewRing returns a ModeRing log retaining the most recent capacity events
-// (rounded up to a power of two, minimum 64).
-func NewRing(capacity int) *Log {
+// MaxRingStripes bounds the stripe count of a sharded ring; beyond the
+// point where every concurrently appending process has its own ticket,
+// more stripes only shrink each sub-ring.
+const MaxRingStripes = 16
+
+// NewRing returns a single-stripe ModeRing log retaining the most recent
+// capacity events (rounded up to a power of two, minimum 64). Its
+// reconstructed order is the exact global append order.
+func NewRing(capacity int) *Log { return NewShardedRing(capacity, 1) }
+
+// NewShardedRing returns a ModeRing log of stripes sub-rings (clamped to
+// [1, MaxRingStripes] and rounded up to a power of two), splitting
+// capacity across them (each sub-ring at least 64 slots, rounded up to a
+// power of two). Appends stripe by pid: processes hashing to different
+// stripes share no ticket and no slots, so the log stops serializing a
+// hot shard. Cross-stripe order in Events is the deterministic seq
+// interleaving, not real-time order; per-stripe (hence per-process) order
+// is exact.
+func NewShardedRing(capacity, stripes int) *Log {
+	k := 1
+	for k < stripes && k < MaxRingStripes {
+		k <<= 1
+	}
+	per := capacity / k
 	n := 64
-	for n < capacity {
+	for n < per {
 		n <<= 1
 	}
-	return &Log{mode: ModeRing, slots: make([]slot, n), mask: uint64(n - 1)}
+	l := &Log{mode: ModeRing, stripes: make([]stripe, k)}
+	for i := range l.stripes {
+		l.stripes[i].slots = make([]slot, n)
+		l.stripes[i].mask = uint64(n - 1)
+	}
+	return l
 }
 
 // NewOff returns a ModeOff log that discards every event.
@@ -154,8 +198,18 @@ func NewOff() *Log { return &Log{mode: ModeOff} }
 // Mode returns the log's retention mode.
 func (l *Log) Mode() Mode { return l.mode }
 
-// Capacity returns the ring capacity (0 for full and off modes).
-func (l *Log) Capacity() int { return len(l.slots) }
+// Capacity returns the total ring capacity across stripes (0 for full and
+// off modes).
+func (l *Log) Capacity() int {
+	n := 0
+	for i := range l.stripes {
+		n += len(l.stripes[i].slots)
+	}
+	return n
+}
+
+// Stripes returns the number of sub-rings (0 for full and off modes).
+func (l *Log) Stripes() int { return len(l.stripes) }
 
 // Invoke records the start of op by pid. op.Args is copied: the caller may
 // reuse its backing array after Invoke returns (object implementations
@@ -183,8 +237,11 @@ func (l *Log) RecoverReturn(pid, resp int, fail bool) {
 }
 
 // Events returns a snapshot copy of the retained events in recording
-// order. In ring mode the order is reconstructed from sequence numbers and
-// older overwritten events are absent (see Appended/Dropped).
+// order. In ring mode the order is reconstructed from sequence numbers
+// (older overwritten events are absent; see Appended/Dropped): exact
+// append order with one stripe, and the deterministic per-stripe-ordered
+// merge with several — every process's own events stay in order, but
+// cross-stripe interleaving is by sequence number, not wall clock.
 func (l *Log) Events() []Event {
 	switch l.mode {
 	case ModeOff:
@@ -204,8 +261,14 @@ func (l *Log) Events() []Event {
 // events a ring has since overwritten and events an off log discarded.
 func (l *Log) Appended() uint64 {
 	switch l.mode {
-	case ModeRing, ModeOff:
-		return l.ticket.Load()
+	case ModeRing:
+		var t uint64
+		for i := range l.stripes {
+			t += l.stripes[i].ticket.Load()
+		}
+		return t
+	case ModeOff:
+		return l.discarded.Load()
 	default:
 		l.mu.Lock()
 		defer l.mu.Unlock()
@@ -217,12 +280,16 @@ func (l *Log) Appended() uint64 {
 func (l *Log) Dropped() uint64 {
 	switch l.mode {
 	case ModeRing:
-		if t := l.ticket.Load(); t > uint64(len(l.slots)) {
-			return t - uint64(len(l.slots))
+		var d uint64
+		for i := range l.stripes {
+			st := &l.stripes[i]
+			if t := st.ticket.Load(); t > uint64(len(st.slots)) {
+				d += t - uint64(len(st.slots))
+			}
 		}
-		return 0
+		return d
 	case ModeOff:
-		return l.ticket.Load()
+		return l.discarded.Load()
 	default:
 		return 0
 	}
@@ -234,10 +301,16 @@ func (l *Log) Len() int {
 	case ModeOff:
 		return 0
 	case ModeRing:
-		if t := l.ticket.Load(); t < uint64(len(l.slots)) {
-			return int(t)
+		n := 0
+		for i := range l.stripes {
+			st := &l.stripes[i]
+			if t := st.ticket.Load(); t < uint64(len(st.slots)) {
+				n += int(t)
+			} else {
+				n += len(st.slots)
+			}
 		}
-		return len(l.slots)
+		return n
 	default:
 		l.mu.Lock()
 		defer l.mu.Unlock()
@@ -269,12 +342,15 @@ func (l *Log) String() string {
 func (l *Log) append(e Event) {
 	switch l.mode {
 	case ModeOff:
-		l.ticket.Add(1)
+		l.discarded.Add(1)
 	case ModeRing:
-		t := l.ticket.Add(1)
-		s := &l.slots[(t-1)&l.mask]
+		k := uint64(len(l.stripes))
+		idx := uint64(uint(e.PID)) & (k - 1)
+		st := &l.stripes[idx]
+		t := st.ticket.Add(1)
+		s := &st.slots[(t-1)&st.mask]
 		s.mu.Lock()
-		s.seq = t
+		s.seq = (t-1)*k + idx + 1
 		// Copy the caller's args into the slot-owned buffer (reused across
 		// wrap-arounds): the caller may alias a per-process scratch it will
 		// overwrite on its next operation.
@@ -298,9 +374,10 @@ func (l *Log) append(e Event) {
 	}
 }
 
-// ringSnapshot collects the filled slots and orders them by sequence
-// number. Appends racing the snapshot may leave holes (a reserved ticket
-// whose slot write has not landed); the snapshot simply omits them.
+// ringSnapshot collects the filled slots of every stripe and orders them
+// by sequence number. Appends racing the snapshot may leave holes (a
+// reserved ticket whose slot write has not landed); the snapshot simply
+// omits them.
 func (l *Log) ringSnapshot() []Event {
 	type tagged struct {
 		seq uint64
@@ -311,19 +388,22 @@ func (l *Log) ringSnapshot() []Event {
 		return nil
 	}
 	tags := make([]tagged, 0, n)
-	for i := range l.slots {
-		s := &l.slots[i]
-		s.mu.Lock()
-		if s.seq != 0 {
-			ev := s.ev
-			if len(ev.Op.Args) > 0 {
-				// The stored args alias the slot's reusable buffer; the
-				// snapshot must own its copy or a wrap-around would mutate it.
-				ev.Op.Args = append([]int(nil), ev.Op.Args...)
+	for i := range l.stripes {
+		st := &l.stripes[i]
+		for j := range st.slots {
+			s := &st.slots[j]
+			s.mu.Lock()
+			if s.seq != 0 {
+				ev := s.ev
+				if len(ev.Op.Args) > 0 {
+					// The stored args alias the slot's reusable buffer; the
+					// snapshot must own its copy or a wrap-around would mutate it.
+					ev.Op.Args = append([]int(nil), ev.Op.Args...)
+				}
+				tags = append(tags, tagged{seq: s.seq, ev: ev})
 			}
-			tags = append(tags, tagged{seq: s.seq, ev: ev})
+			s.mu.Unlock()
 		}
-		s.mu.Unlock()
 	}
 	sort.Slice(tags, func(a, b int) bool { return tags[a].seq < tags[b].seq })
 	out := make([]Event, len(tags))

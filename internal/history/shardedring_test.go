@@ -1,0 +1,180 @@
+package history
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestShardedRingGeometry pins the stripe clamping and capacity split:
+// stripe counts round up to powers of two within [1, MaxRingStripes], and
+// each sub-ring gets at least 64 slots.
+func TestShardedRingGeometry(t *testing.T) {
+	cases := []struct {
+		capacity, stripes     int
+		wantStripes, wantSlot int
+	}{
+		{4096, 1, 1, 4096},
+		{4096, 2, 2, 2048},
+		{4096, 3, 4, 1024},
+		{4096, 8, 8, 512},
+		{4096, 100, MaxRingStripes, 256},
+		{64, 8, 8, 64}, // per-stripe minimum dominates
+	}
+	for _, c := range cases {
+		l := NewShardedRing(c.capacity, c.stripes)
+		if l.Stripes() != c.wantStripes {
+			t.Fatalf("NewShardedRing(%d,%d): stripes %d, want %d", c.capacity, c.stripes, l.Stripes(), c.wantStripes)
+		}
+		if got := l.Capacity() / l.Stripes(); got != c.wantSlot {
+			t.Fatalf("NewShardedRing(%d,%d): %d slots/stripe, want %d", c.capacity, c.stripes, got, c.wantSlot)
+		}
+	}
+	if l := NewRing(128); l.Stripes() != 1 || l.Capacity() != 128 {
+		t.Fatalf("NewRing(128) = %d stripes × %d total, want 1 × 128", l.Stripes(), l.Capacity())
+	}
+}
+
+// TestShardedRingWrapBoundaries mirrors the single-ring wrap pin per
+// stripe: one writer per stripe appends through several wraps; at each
+// boundary the snapshot restricted to that writer must be exactly its most
+// recent min(appended, stripeCapacity) events in its append order, and the
+// global Appended/Dropped accounting must sum the stripes.
+func TestShardedRingWrapBoundaries(t *testing.T) {
+	const stripes = 4
+	l := NewShardedRing(stripes*64, stripes)
+	stripeCap := l.Capacity() / l.Stripes() // 64
+	perWriterAt := func(pid int) []int {
+		var resps []int
+		for _, e := range l.Events() {
+			if e.PID == pid {
+				resps = append(resps, e.Resp)
+			}
+		}
+		return resps
+	}
+	boundaries := map[int]bool{stripeCap - 1: true, stripeCap: true, stripeCap + 1: true, 3 * stripeCap: true, 3*stripeCap + 1: true}
+	for n := 1; n <= 3*stripeCap+1; n++ {
+		for pid := 0; pid < stripes; pid++ {
+			l.Return(pid, n-1)
+		}
+		if !boundaries[n] {
+			continue
+		}
+		want := n
+		if want > stripeCap {
+			want = stripeCap
+		}
+		for pid := 0; pid < stripes; pid++ {
+			resps := perWriterAt(pid)
+			if len(resps) != want {
+				t.Fatalf("after %d appends: writer %d retained %d, want %d", n, pid, len(resps), want)
+			}
+			for i, r := range resps {
+				if wantResp := n - want + i; r != wantResp {
+					t.Fatalf("after %d appends: writer %d event %d has resp %d, want %d", n, pid, i, r, wantResp)
+				}
+			}
+		}
+		if got, want := l.Appended(), uint64(stripes*n); got != want {
+			t.Fatalf("Appended() = %d, want %d", got, want)
+		}
+		wantDropped := uint64(0)
+		if n > stripeCap {
+			wantDropped = uint64(stripes * (n - stripeCap))
+		}
+		if got := l.Dropped(); got != wantDropped {
+			t.Fatalf("Dropped() = %d, want %d", got, wantDropped)
+		}
+	}
+}
+
+// TestShardedRingPerWriterOrder pins the ordering contract Events keeps
+// under striping: cross-stripe interleaving is by sequence number, but
+// every process's own events appear in its append order even when several
+// writers share a stripe (writers mod stripes collide).
+func TestShardedRingPerWriterOrder(t *testing.T) {
+	const (
+		stripes = 2
+		writers = 5 // writers 0,2,4 share stripe 0; 1,3 share stripe 1
+		each    = 40
+	)
+	l := NewShardedRing(stripes*64, stripes)
+	for i := 0; i < each; i++ {
+		for w := 0; w < writers; w++ {
+			l.Return(w, i)
+		}
+	}
+	perWriter := make(map[int][]int)
+	for _, e := range l.Events() {
+		perWriter[e.PID] = append(perWriter[e.PID], e.Resp)
+	}
+	if len(perWriter) != writers {
+		t.Fatalf("only %d of %d writers represented", len(perWriter), writers)
+	}
+	for w, resps := range perWriter {
+		for i := 1; i < len(resps); i++ {
+			if resps[i] != resps[i-1]+1 {
+				t.Fatalf("writer %d: retained resps %v are not in append order", w, resps)
+			}
+		}
+		if last := resps[len(resps)-1]; last != each-1 {
+			t.Fatalf("writer %d: tail ends at %d, want %d", w, last, each-1)
+		}
+	}
+}
+
+// TestShardedRingConcurrentWrapReconstruction is the PR 4 concurrent-wrap
+// pin over stripes: many writers wrap small sub-rings concurrently; after
+// quiescence the snapshot must hold exactly Capacity() events, every
+// writer's retained events must be a contiguous tail of its appends, and
+// every tail must end in the writer's post-quiescence sentinel.
+func TestShardedRingConcurrentWrapReconstruction(t *testing.T) {
+	const (
+		stripes = 4
+		writers = 8
+		each    = 5000
+	)
+	l := NewShardedRing(stripes*64, stripes)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				l.Return(w, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+	// One sequential sentinel append per writer after quiescence: within
+	// each stripe these hold the highest tickets, so every writer is
+	// represented and every writer's retained events end in its sentinel.
+	for w := 0; w < writers; w++ {
+		l.Return(w, each)
+	}
+
+	if got := l.Appended(); got != writers*each+writers {
+		t.Fatalf("Appended() = %d, want %d", got, writers*each+writers)
+	}
+	evs := l.Events()
+	if len(evs) != l.Capacity() {
+		t.Fatalf("retained %d, want %d (no holes after quiescence)", len(evs), l.Capacity())
+	}
+	perWriter := make(map[int][]int)
+	for _, e := range evs {
+		perWriter[e.PID] = append(perWriter[e.PID], e.Resp)
+	}
+	if len(perWriter) != writers {
+		t.Fatalf("only %d of %d writers represented in the snapshot", len(perWriter), writers)
+	}
+	for w, resps := range perWriter {
+		for i := 1; i < len(resps); i++ {
+			if resps[i] != resps[i-1]+1 {
+				t.Fatalf("writer %d: retained resps %v are not a contiguous tail", w, resps)
+			}
+		}
+		if last := resps[len(resps)-1]; last != each {
+			t.Fatalf("writer %d: sentinel (resp %d) missing; tail ends at %d", w, each, last)
+		}
+	}
+}

@@ -7,12 +7,17 @@
 // a caller that crashed mid-put knows whether the new value is visible;
 // PutRetry re-invokes on fail for always-succeeds semantics (the NRL
 // transformation of Section 6).
+//
+// Key resolution is lock-free: the key → register table is an atomic
+// pointer to an immutable copy-on-write map, so the crash-free hot path of
+// an existing key (the only path a skewed workload exercises in steady
+// state) is one atomic load plus one map lookup — no locks, no allocation.
+// Only the first write of a new key and Restore serialize, on a creation
+// mutex that publishes a successor table.
 package kv
 
 import (
 	"sort"
-	"strings"
-	"sync"
 
 	"detectable/internal/nvm"
 	"detectable/internal/runtime"
@@ -23,14 +28,21 @@ import (
 // Missing keys read as the zero value.
 type Store struct {
 	sys *runtime.System
-
-	mu   sync.RWMutex
-	regs map[string]*rw.Register[int]
+	tbl keyTable
 }
 
-// New allocates an empty store in sys's memory space.
+// New allocates an empty store in sys's memory space with the lock-free
+// copy-on-write key table.
 func New(sys *runtime.System) *Store {
-	return &Store{sys: sys, regs: make(map[string]*rw.Register[int])}
+	return &Store{sys: sys, tbl: newCowTable()}
+}
+
+// NewLocked allocates a store using the pre-PR 8 RWMutex key table. It
+// exists solely as the measured baseline of the BENCH_PR8.json skew sweep
+// (every operation pays a read-lock on the shared table); production
+// callers want New.
+func NewLocked(sys *runtime.System) *Store {
+	return &Store{sys: sys, tbl: newLockedTable()}
 }
 
 // Put writes key := val as process pid and returns the detectable outcome.
@@ -87,20 +99,16 @@ func (s *Store) GetArmed(pid int, key string, plan nvm.CrashPlan) runtime.Outcom
 // Restoring a key that already has a register panics — recovery must run
 // before the store serves operations.
 func (s *Store) Restore(key string, val int) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.regs[key]; ok {
-		panic("kv: Restore of a key that already has a register")
-	}
-	s.regs[key] = rw.NewInt(s.sys, val)
+	s.tbl.restore(key, rw.NewInt(s.sys, val))
 }
 
-// Keys returns the keys ever written, sorted, for tests and tooling.
+// Keys returns the keys ever written, sorted, for tests and tooling. The
+// sort runs over a point-in-time table view, outside any critical section —
+// with the copy-on-write table no lock is held at all.
 func (s *Store) Keys() []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]string, 0, len(s.regs))
-	for k := range s.regs {
+	view := s.tbl.view()
+	out := make([]string, 0, len(view))
+	for k := range view {
 		out = append(out, k)
 	}
 	sort.Strings(out)
@@ -109,9 +117,7 @@ func (s *Store) Keys() []string {
 
 // Peek returns key's current value without a Ctx, for tests.
 func (s *Store) Peek(key string) int {
-	s.mu.RLock()
-	reg, ok := s.regs[key]
-	s.mu.RUnlock()
+	reg, ok := s.tbl.lookup(key)
 	if !ok {
 		return 0
 	}
@@ -125,18 +131,8 @@ func (s *Store) Peek(key string) int {
 // connection frame), so the create path clones it — the only place this
 // layer retains a key.
 func (s *Store) reg(key string) *rw.Register[int] {
-	s.mu.RLock()
-	reg, ok := s.regs[key]
-	s.mu.RUnlock()
-	if ok {
+	if reg, ok := s.tbl.lookup(key); ok {
 		return reg
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if reg, ok := s.regs[key]; ok {
-		return reg
-	}
-	reg = rw.NewInt(s.sys, 0)
-	s.regs[strings.Clone(key)] = reg
-	return reg
+	return s.tbl.create(key, func() *rw.Register[int] { return rw.NewInt(s.sys, 0) })
 }

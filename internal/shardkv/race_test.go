@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"detectable/internal/nvm"
+	"detectable/internal/workload"
 )
 
 // TestRaceStress is a short stress run aimed at the race detector:
@@ -89,4 +90,75 @@ func TestRaceStress(t *testing.T) {
 	wg.Wait()
 	close(stop)
 	aux.Wait()
+}
+
+// TestRaceStressHotKey is the skew regime under the race detector: every
+// process hammers one shard through a Zipfian chooser whose rank-0 key
+// absorbs most of the traffic, mixing PutRetry and Get on the shared hot
+// key with a crash storm on that single shard — the copy-on-write key
+// table's lock-free read path, the striped stats and the sharded history
+// ring all racing on one partition. A concurrent cold-key creator keeps
+// table republication racing the hot lookups.
+func TestRaceStressHotKey(t *testing.T) {
+	const procs = 8
+	s := New(1, procs)
+	keys := make([]string, 16)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("hot-%d", i)
+	}
+
+	stop := make(chan struct{})
+	var aux sync.WaitGroup
+	aux.Add(2)
+	go func() { // crash storm on the single hot shard
+		defer aux.Done()
+		i := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if i++; i%1200 == 0 {
+				s.CrashShard(0)
+			}
+		}
+	}()
+	go func() { // cold-key creator: COW republication racing hot lookups
+		defer aux.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if i < 200 {
+				s.Put(procs-1, fmt.Sprintf("cold-%d", i), i)
+			}
+			_ = s.StatsFor(0)
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for p := 0; p < procs-1; p++ {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			z := workload.NewZipf(rand.New(rand.NewSource(workload.WorkerSeed(9, procs, pid))), len(keys), 1.2)
+			for i := 0; i < 200; i++ {
+				key := keys[z.Next()]
+				if i%3 == 0 {
+					s.PutRetry(pid, key, pid*1000+i)
+				} else {
+					s.Get(pid, key)
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	close(stop)
+	aux.Wait()
+	if got := s.TotalStats().Ops(); got == 0 {
+		t.Fatalf("no operations recorded")
+	}
 }

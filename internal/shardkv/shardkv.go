@@ -42,6 +42,7 @@ type options struct {
 	historyCap  int
 	parallel    int
 	db          *durable.DB
+	lockedTable bool
 }
 
 // HistoryMode overrides the per-shard history retention. Production stores
@@ -72,6 +73,15 @@ func Parallel(n int) Option {
 			o.parallel = n
 		}
 	}
+}
+
+// LockedKeyTable builds every shard's kv store on the pre-PR 8
+// RWMutex-guarded key table instead of the lock-free copy-on-write table.
+// It exists solely so the BENCH_PR8.json skew sweep (and kvserverd's
+// -locked-keytable flag) can measure the seed baseline; production callers
+// never set it.
+func LockedKeyTable() Option {
+	return func(o *options) { o.lockedTable = true }
 }
 
 // Durable backs every shard's space with one shard log of db (making the
@@ -108,21 +118,21 @@ func (sh *shard) journal(out runtime.Outcome[int], key string, val int) {
 // keys are hashed once per batch entry.
 func (sh *shard) get(pid int, key string, plans ...nvm.CrashPlan) runtime.Outcome[int] {
 	out := sh.store.Get(pid, key, plans...)
-	sh.stats.note(opGet, outcomeOf(out.Status), out.Crashes)
+	sh.stats.note(pid, opGet, outcomeOf(out.Status), out.Crashes)
 	return out
 }
 
 func (sh *shard) put(pid int, key string, val int, plans ...nvm.CrashPlan) runtime.Outcome[int] {
 	out := sh.store.Put(pid, key, val, plans...)
 	sh.journal(out, key, val)
-	sh.stats.note(opPut, outcomeOf(out.Status), out.Crashes)
+	sh.stats.note(pid, opPut, outcomeOf(out.Status), out.Crashes)
 	return out
 }
 
 func (sh *shard) del(pid int, key string, plans ...nvm.CrashPlan) runtime.Outcome[int] {
 	out := sh.store.Del(pid, key, plans...)
 	sh.journal(out, key, 0)
-	sh.stats.note(opDel, outcomeOf(out.Status), out.Crashes)
+	sh.stats.note(pid, opDel, outcomeOf(out.Status), out.Crashes)
 	return out
 }
 
@@ -132,7 +142,7 @@ func (sh *shard) del(pid int, key string, plans ...nvm.CrashPlan) runtime.Outcom
 func (sh *shard) putRetry(pid int, key string, val int) int {
 	for n := 1; ; n++ {
 		if sh.put(pid, key, val).Status.Linearized() {
-			sh.stats.noteRetries(n)
+			sh.stats.noteRetries(pid, n)
 			return n
 		}
 	}
@@ -142,7 +152,7 @@ func (sh *shard) putRetry(pid int, key string, val int) int {
 func (sh *shard) delRetry(pid int, key string) int {
 	for n := 1; ; n++ {
 		if sh.del(pid, key).Status.Linearized() {
-			sh.stats.noteRetries(n)
+			sh.stats.noteRetries(pid, n)
 			return n
 		}
 	}
@@ -186,11 +196,18 @@ func NewModel(shards, procs int, m nvm.Model, opts ...Option) *Store {
 		sys := runtime.NewSystemModel(procs, m)
 		switch o.historyMode {
 		case history.ModeRing:
-			sys.SetHistory(history.NewRing(o.historyCap))
+			// Stripe the diagnostic ring by process so a hot shard's
+			// appends stop serializing on one ticket (history clamps the
+			// stripe count and splits the capacity).
+			sys.SetHistory(history.NewShardedRing(o.historyCap, procs))
 		case history.ModeOff:
 			sys.SetHistory(history.NewOff())
 		}
-		sh := &shard{sys: sys, store: kv.New(sys)}
+		mkStore := kv.New
+		if o.lockedTable {
+			mkStore = kv.NewLocked
+		}
+		sh := &shard{sys: sys, store: mkStore(sys)}
 		if o.db != nil {
 			// Recovery first, backing second: replayed roots are register
 			// initial values, not fresh persists to re-journal.
@@ -255,7 +272,7 @@ func (s *Store) PutArmed(pid int, key string, val int, plan nvm.CrashPlan) runti
 	sh := s.shards[s.ShardFor(key)]
 	out := sh.store.PutArmed(pid, key, val, plan)
 	sh.journal(out, key, val)
-	sh.stats.note(opPut, outcomeOf(out.Status), out.Crashes)
+	sh.stats.note(pid, opPut, outcomeOf(out.Status), out.Crashes)
 	return out
 }
 
@@ -263,7 +280,7 @@ func (s *Store) PutArmed(pid int, key string, val int, plan nvm.CrashPlan) runti
 func (s *Store) GetArmed(pid int, key string, plan nvm.CrashPlan) runtime.Outcome[int] {
 	sh := s.shards[s.ShardFor(key)]
 	out := sh.store.GetArmed(pid, key, plan)
-	sh.stats.note(opGet, outcomeOf(out.Status), out.Crashes)
+	sh.stats.note(pid, opGet, outcomeOf(out.Status), out.Crashes)
 	return out
 }
 
@@ -288,7 +305,7 @@ func (s *Store) GetRetry(pid int, key string) int {
 	for n := 1; ; n++ {
 		out := sh.get(pid, key)
 		if out.Status.Linearized() {
-			sh.stats.noteRetries(n)
+			sh.stats.noteRetries(pid, n)
 			return out.Resp
 		}
 	}
