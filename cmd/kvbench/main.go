@@ -70,6 +70,7 @@ func main() {
 	dataDir := flag.String("data", "", "durable data directory for -server-bin (empty = fresh temp dir)")
 	serverArgs := flag.String("server-args", "", "extra kvserverd flags for -server-bin, space-separated")
 	shards := flag.Int("shards", 4, "shards for the -selftest or -server-bin server")
+	replica := flag.Bool("replica", false, "with -server-bin: also spawn a warm standby replicating from the primary, so the bench measures the synchronous-replication serving path")
 	connsFlag := flag.String("conns", "1,4", "comma-separated connection counts to bench")
 	dur := flag.Duration("dur", 2*time.Second, "measured duration per connection count")
 	keys := flag.Int("keys", 512, "key-space size")
@@ -82,7 +83,7 @@ func main() {
 	label := flag.String("label", "run", "run name for -json")
 	seed := flag.Int64("seed", 1, "randomness seed")
 	flag.Parse()
-	if err := run(*addr, *selftest, *serverBin, *dataDir, *serverArgs, *shards, *connsFlag,
+	if err := run(*addr, *selftest, *serverBin, *dataDir, *serverArgs, *shards, *replica, *connsFlag,
 		*dur, *keys, *getPct, *dist, *theta, *mput, *rate, *jsonOut, *label, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "kvbench:", err)
 		os.Exit(1)
@@ -120,7 +121,7 @@ type jsonDoc struct {
 	Runs   map[string]*runSection `json:"runs"`
 }
 
-func run(addr string, selftest bool, serverBin, dataDir, serverArgs string, shards int, connsFlag string,
+func run(addr string, selftest bool, serverBin, dataDir, serverArgs string, shards int, replica bool, connsFlag string,
 	dur time.Duration, keys, getPct int, dist string, theta float64, mput int, rate float64,
 	jsonOut, label string, seed int64) error {
 	connCounts, err := parseConns(connsFlag)
@@ -141,6 +142,9 @@ func run(addr string, selftest bool, serverBin, dataDir, serverArgs string, shar
 	}
 	if modes != 1 {
 		return fmt.Errorf("exactly one of -addr, -selftest and -server-bin is required")
+	}
+	if replica && serverBin == "" {
+		return fmt.Errorf("-replica needs -server-bin (the bench spawns the standby itself)")
 	}
 	if keys < 1 || getPct < 0 || getPct > 100 || mput < 0 || rate < 0 {
 		return fmt.Errorf("need keys ≥ 1, 0 ≤ getpct ≤ 100, mput ≥ 0, rate ≥ 0")
@@ -177,6 +181,22 @@ func run(addr string, selftest bool, serverBin, dataDir, serverArgs string, shar
 		defer stop()
 		addr = a
 		fmt.Printf("spawned server: addr=%s shards=%d procs=%d data=%s args=%q\n", addr, shards, maxConns, dataDir, serverArgs)
+		if replica {
+			rd, err := os.MkdirTemp("", "kvbench-replica-")
+			if err != nil {
+				return err
+			}
+			defer os.RemoveAll(rd)
+			_, stopR, err := spawnServer(serverBin, rd, serverArgs+" -replica-of "+addr, shards, maxConns)
+			if err != nil {
+				return fmt.Errorf("spawning replica: %w", err)
+			}
+			defer stopR()
+			if err := waitReplicaSynced(addr, 15*time.Second); err != nil {
+				return fmt.Errorf("replica never synced: %w", err)
+			}
+			fmt.Printf("replica attached: every mutation reply now waits for both nodes' fsync\n")
+		}
 	}
 
 	fmt.Printf("target=%s dur=%s keys=%d getpct=%d dist=%s theta=%g mput=%d rate=%.0f/conn\n",
@@ -400,6 +420,34 @@ func spawnServer(bin, dataDir, extraArgs string, shards, procs int) (string, fun
 			return "", nil, fmt.Errorf("spawned server never came up: %w", err)
 		}
 		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// waitReplicaSynced polls the primary until a replica stream is attached
+// and has acked every replication barrier, so the measured window never
+// includes the initial snapshot transfer.
+func waitReplicaSynced(addr string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	var lastErr error
+	for {
+		obs, err := client.DialObserver(addr)
+		if err == nil {
+			st, serr := obs.ServerStats()
+			obs.Close() //nolint:errcheck
+			if serr == nil && st.Replicas >= 1 && st.ReplSeq > 0 && st.ReplAcked >= st.ReplSeq {
+				return nil
+			}
+			if serr == nil {
+				err = fmt.Errorf("replicas=%d seq=%d acked=%d", st.Replicas, st.ReplSeq, st.ReplAcked)
+			} else {
+				err = serr
+			}
+		}
+		lastErr = err
+		if time.Now().After(deadline) {
+			return lastErr
+		}
+		time.Sleep(100 * time.Millisecond)
 	}
 }
 

@@ -17,7 +17,17 @@
 // Usage:
 //
 //	kvserverd [-addr :7070] [-shards 4] [-procs 8] [-data dir] [-dur 0]
-//	          [-group-commit] [-epoch-interval 0] [-locked-keytable] [-v]
+//	          [-group-commit] [-epoch-interval 0] [-locked-keytable]
+//	          [-replica-of addr] [-promote] [-v]
+//
+// With -replica-of the daemon starts as a warm standby (requires -data):
+// it feeds its durable directory from the primary's replication stream,
+// acks every commit barrier (the primary releases verdicts only after
+// both nodes fsynced — docs/REPLICATION.md), and serves only observer
+// sessions until promoted. -promote is an admin verb, not a server mode:
+// it connects to -addr as an observer, issues PROMOTE, prints the fencing
+// generation and exits — promoting a standby into the serving primary, or
+// fencing a node that is already primary.
 //
 // -locked-keytable swaps each shard's lock-free copy-on-write key table
 // for the RWMutex-guarded baseline; it exists only so benchmark sweeps
@@ -44,6 +54,7 @@ import (
 	"syscall"
 	"time"
 
+	"detectable/internal/client"
 	"detectable/internal/durable"
 	"detectable/internal/server"
 	"detectable/internal/shardkv"
@@ -58,17 +69,45 @@ func main() {
 	groupCommit := flag.Bool("group-commit", true, "coalesce concurrent commits into epochs sharing one fsync pair")
 	epochInterval := flag.Duration("epoch-interval", 0, "group-commit batching window (0 = anchor epochs immediately)")
 	lockedTable := flag.Bool("locked-keytable", false, "use the RWMutex-guarded key table instead of the lock-free copy-on-write one (benchmark baseline)")
+	replicaOf := flag.String("replica-of", "", "start as a warm standby replicating from the primary at this address (requires -data)")
+	promote := flag.Bool("promote", false, "admin verb: ask the server at -addr to promote (standby → primary, primary → fenced) and exit")
 	verbose := flag.Bool("v", false, "print the per-shard breakdown on shutdown")
 	flag.Parse()
-	if err := run(*addr, *shards, *procs, *data, *dur, *groupCommit, *epochInterval, *lockedTable, *verbose); err != nil {
+	if *promote {
+		if err := runPromote(*addr); err != nil {
+			fmt.Fprintln(os.Stderr, "kvserverd:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(*addr, *shards, *procs, *data, *dur, *groupCommit, *epochInterval, *lockedTable, *replicaOf, *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, "kvserverd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, shards, procs int, data string, dur time.Duration, groupCommit bool, epochInterval time.Duration, lockedTable, verbose bool) error {
+// runPromote issues PROMOTE over an observer session and reports the
+// fencing generation the node now serves (or refuses) under.
+func runPromote(addr string) error {
+	c, err := client.DialObserver(addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	gen, err := c.Promote()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("kvserverd: promoted %s generation=%d\n", addr, gen)
+	return nil
+}
+
+func run(addr string, shards, procs int, data string, dur time.Duration, groupCommit bool, epochInterval time.Duration, lockedTable bool, replicaOf string, verbose bool) error {
 	if shards < 1 || procs < 1 {
 		return fmt.Errorf("need shards ≥ 1 and procs ≥ 1 (got shards=%d procs=%d)", shards, procs)
+	}
+	if replicaOf != "" && data == "" {
+		return fmt.Errorf("-replica-of needs -data: the standby mirrors the primary into a durable directory")
 	}
 
 	var (
@@ -86,26 +125,46 @@ func run(addr string, shards, procs int, data string, dur time.Duration, groupCo
 		defer db.Close()
 		opts = append(opts, shardkv.Durable(db))
 	}
-	store := shardkv.New(shards, procs, opts...)
-	srv := server.New(store)
-	if db != nil {
-		if err := srv.AttachDurable(db); err != nil {
-			return err
-		}
-		keys := 0
-		for i := 0; i < shards; i++ {
-			db.RangeShard(i, func(string, int64) { keys++ })
-		}
-		fmt.Printf("kvserverd: recovered data=%s keys=%d sessions=%d\n", data, keys, srv.Sessions())
+	var srv *server.Server
+	if replicaOf != "" {
+		srv = server.NewStandby(db, func() *shardkv.Store { return shardkv.New(shards, procs, opts...) })
 		if groupCommit {
 			db.StartGroupCommit(epochInterval)
+		}
+		if err := srv.StartReplication(replicaOf); err != nil {
+			return err
+		}
+		go func() {
+			<-srv.Promoted()
+			fmt.Printf("kvserverd: promoted to primary generation=%d\n", db.Generation())
+		}()
+	} else {
+		store := shardkv.New(shards, procs, opts...)
+		srv = server.New(store)
+		if db != nil {
+			if err := srv.AttachDurable(db); err != nil {
+				return err
+			}
+			keys := 0
+			for i := 0; i < shards; i++ {
+				db.RangeShard(i, func(string, int64) { keys++ })
+			}
+			fmt.Printf("kvserverd: recovered data=%s keys=%d sessions=%d\n", data, keys, srv.Sessions())
+			if groupCommit {
+				db.StartGroupCommit(epochInterval)
+			}
 		}
 	}
 	if err := srv.Listen(addr); err != nil {
 		return err
 	}
-	fmt.Printf("kvserverd: serving addr=%s shards=%d procs=%d durable=%v group-commit=%v\n",
-		srv.Addr(), shards, procs, db != nil, db != nil && groupCommit)
+	if replicaOf != "" {
+		fmt.Printf("kvserverd: standby addr=%s shards=%d procs=%d replicating-from=%s\n",
+			srv.Addr(), shards, procs, replicaOf)
+	} else {
+		fmt.Printf("kvserverd: serving addr=%s shards=%d procs=%d durable=%v group-commit=%v\n",
+			srv.Addr(), shards, procs, db != nil, db != nil && groupCommit)
+	}
 
 	if dur > 0 {
 		time.Sleep(dur)
@@ -129,6 +188,11 @@ func run(addr string, shards, procs int, data string, dur time.Duration, groupCo
 		}
 	}
 
+	store := srv.Store() // nil for a standby that was never promoted
+	if store == nil {
+		fmt.Println("standby: shut down before promotion (no data served)")
+		return nil
+	}
 	t := store.TotalStats()
 	fmt.Printf("served: %d ops — gets=%d puts=%d dels=%d\n", t.Ops(), t.Gets, t.Puts, t.Dels)
 	fmt.Printf("verdicts: ok=%d recovered=%d failed=%d not-invoked=%d\n", t.OK, t.Recovered, t.Failed, t.NotInvoked)

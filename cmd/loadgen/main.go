@@ -96,7 +96,10 @@ func main() {
 	dataDir := flag.String("data", "", "durable data directory for -restart-storm (empty = fresh temp dir)")
 	restarts := flag.Int("restarts", 5, "minimum SIGKILL/restart cycles for -restart-storm")
 	restartEvery := flag.Duration("restart-every", 700*time.Millisecond, "delay between SIGKILLs for -restart-storm")
-	serverArgs := flag.String("server-args", "", "extra kvserverd flags for -restart-storm, space-separated (e.g. \"-epoch-interval 2ms\")")
+	serverArgs := flag.String("server-args", "", "extra kvserverd flags for -restart-storm/-failover-storm, space-separated (e.g. \"-epoch-interval 2ms\")")
+	failoverStorm := flag.Bool("failover-storm", false, "primary/backup failover mode: spawn a durable primary plus a replicating standby (-server-bin, -data) and SIGKILL/promote mid-workload")
+	failovers := flag.Int("failovers", 3, "minimum SIGKILL/promote cycles for -failover-storm")
+	failoverEvery := flag.Duration("failover-every", 900*time.Millisecond, "delay between primary SIGKILLs for -failover-storm")
 	flag.Parse()
 	cfg := wlCfg{
 		mixName: *mix, dist: *dist, theta: *theta, mput: *mput,
@@ -106,8 +109,12 @@ func main() {
 	err := cfg.validate()
 	switch {
 	case err != nil:
-	case *restartStorm && *remote != "":
-		err = fmt.Errorf("-restart-storm spawns its own server; drop -remote")
+	case *restartStorm && *failoverStorm:
+		err = fmt.Errorf("pick one of -restart-storm and -failover-storm")
+	case (*restartStorm || *failoverStorm) && *remote != "":
+		err = fmt.Errorf("-restart-storm/-failover-storm spawn their own servers; drop -remote")
+	case *failoverStorm:
+		err = runFailoverStorm(*serverBin, *dataDir, &cfg, *failovers, *failoverEvery, *serverArgs)
 	case *restartStorm:
 		err = runRestartStorm(*serverBin, *dataDir, &cfg, *restarts, *restartEvery, *serverArgs)
 	case *remote != "":

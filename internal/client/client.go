@@ -15,6 +15,7 @@ package client
 import (
 	"bufio"
 	"fmt"
+	"math/rand/v2"
 	"net"
 	"time"
 
@@ -39,12 +40,22 @@ func (e *WireError) Error() string {
 // is therefore NOT safe for concurrent use: one operation at a time, the
 // per-process rule of the paper.
 type Client struct {
-	addr     string
+	// addrs is the failover set: connect tries them round-robin starting
+	// at addrIdx, and a successful handshake pins addrIdx so the session
+	// sticks to the address that accepted it until it stops being primary.
+	addrs    []string
+	addrIdx  int
 	observer bool
 
-	// redial policy for transparent resumption.
+	// redial policy for transparent resumption. redialWait is the CAP of
+	// the capped-exponential backoff, not a fixed sleep.
 	maxRedials int
 	redialWait time.Duration
+
+	// callTimeout, when set, bounds every reply read (and redial) so a
+	// dead-but-listening server surfaces as an error instead of blocking
+	// the call forever. Off by default.
+	callTimeout time.Duration
 
 	conn net.Conn
 	br   *bufio.Reader
@@ -66,25 +77,66 @@ type Client struct {
 }
 
 // Dial opens a new session against addr, leasing one process slot.
-func Dial(addr string) (*Client, error) { return dial(addr, false) }
+func Dial(addr string) (*Client, error) { return dial([]string{addr}, false) }
+
+// DialFailover opens a session against the first address in addrs that
+// accepts it as primary. On later connection loss — or an ErrNotPrimary
+// rejection after a demotion — the redial loop rotates through the
+// remaining addresses, so a resumed session lands on the promoted replica
+// and replays its outcome window there.
+func DialFailover(addrs []string) (*Client, error) { return dial(addrs, false) }
 
 // DialObserver opens a slot-less observer session: it may only issue
-// CrashShard, Stats and Close. Storm drivers and stats pollers use it so
-// they do not occupy a process identity.
-func DialObserver(addr string) (*Client, error) { return dial(addr, true) }
+// CrashShard, Stats, ServerStats, Promote and Close. Storm drivers and
+// stats pollers use it so they do not occupy a process identity.
+func DialObserver(addr string) (*Client, error) { return dial([]string{addr}, true) }
 
-func dial(addr string, observer bool) (*Client, error) {
-	c := &Client{addr: addr, observer: observer, maxRedials: 8, redialWait: 50 * time.Millisecond}
+func dial(addrs []string, observer bool) (*Client, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("client: no addresses to dial")
+	}
+	c := &Client{addrs: addrs, observer: observer, maxRedials: 8, redialWait: 50 * time.Millisecond}
 	if err := c.connect(); err != nil {
 		return nil, err
 	}
 	return c, nil
 }
 
-// connect dials and performs the HELLO handshake, opening the session on
-// first use and resuming it afterwards.
+// connect performs the HELLO handshake against each address in the
+// failover set, starting from the last one that worked, and pins the
+// first that accepts. A standby's ErrNotPrimary moves on to the next
+// address; any other protocol rejection is fatal (another address cannot
+// make a malformed or unknown session valid).
 func (c *Client) connect() error {
-	conn, err := net.Dial("tcp", c.addr)
+	var lastErr error
+	for i := 0; i < len(c.addrs); i++ {
+		idx := (c.addrIdx + i) % len(c.addrs)
+		err := c.connectTo(c.addrs[idx])
+		if err == nil {
+			c.addrIdx = idx
+			return nil
+		}
+		if we, ok := err.(*WireError); ok && we.Code != server.ErrNotPrimary {
+			return err
+		}
+		lastErr = err
+	}
+	return lastErr
+}
+
+// nextAddr rotates the failover cursor, so the next connect attempt
+// starts at a different address.
+func (c *Client) nextAddr() {
+	if len(c.addrs) > 1 {
+		c.addrIdx = (c.addrIdx + 1) % len(c.addrs)
+	}
+}
+
+// connectTo dials one address and runs the HELLO handshake, opening the
+// session on first use and resuming it afterwards.
+func (c *Client) connectTo(addr string) error {
+	d := net.Dialer{Timeout: c.callTimeout} // zero: no dial bound, as before
+	conn, err := d.Dial("tcp", addr)
 	if err != nil {
 		return err
 	}
@@ -104,10 +156,16 @@ func (c *Client) connect() error {
 		conn.Close()
 		return err
 	}
+	if c.callTimeout > 0 {
+		conn.SetReadDeadline(time.Now().Add(c.callTimeout))
+	}
 	payload, err := server.ReadFrameInto(br, &c.readBuf)
 	if err != nil {
 		conn.Close()
 		return err
+	}
+	if c.callTimeout > 0 {
+		conn.SetReadDeadline(time.Time{})
 	}
 	r := server.NewReader(payload)
 	if code := r.U8(); code != server.StatusOK {
@@ -130,10 +188,11 @@ func (c *Client) connect() error {
 }
 
 // SetRedialPolicy overrides how hard a call tries to resume after a lost
-// connection: up to maxRedials reconnect attempts, wait apart. The default
-// (8 × 50ms) rides out connection kills; drivers that must survive a
-// whole-process server restart (loadgen -restart-storm) raise it to cover
-// the restart latency.
+// connection: up to maxRedials reconnect attempts, with jittered
+// exponential backoff capped at wait between them. The default (8 × 50ms
+// cap) rides out connection kills; drivers that must survive a
+// whole-process server restart or a failover promotion (loadgen
+// -restart-storm / -failover-storm) raise it to cover that latency.
 func (c *Client) SetRedialPolicy(maxRedials int, wait time.Duration) {
 	if maxRedials > 0 {
 		c.maxRedials = maxRedials
@@ -141,6 +200,44 @@ func (c *Client) SetRedialPolicy(maxRedials int, wait time.Duration) {
 	if wait > 0 {
 		c.redialWait = wait
 	}
+}
+
+// SetCallTimeout bounds every reply read (and every redial's dial and
+// handshake) by d, so a dead-but-listening server — the socket accepts
+// but nothing ever answers — turns into a timeout error and the redial
+// loop can fail over instead of blocking forever. Zero disables the
+// bound (the default): an idle healthy call may legitimately wait as
+// long as the server takes.
+func (c *Client) SetCallTimeout(d time.Duration) { c.callTimeout = d }
+
+// backoff returns the pre-attempt sleep for redial attempt n ≥ 1: an
+// exponential ramp from redialWait/8 capped at redialWait, jittered into
+// [d/2, d] so a fleet of clients severed by the same crash does not
+// reconnect in lockstep.
+func (c *Client) backoff(attempt int) time.Duration {
+	d := c.redialWait / 8
+	if d < time.Millisecond {
+		d = time.Millisecond
+	}
+	for i := 1; i < attempt && d < c.redialWait; i++ {
+		d *= 2
+	}
+	if d > c.redialWait {
+		d = c.redialWait
+	}
+	return d/2 + time.Duration(rand.Int64N(int64(d/2)+1))
+}
+
+// readReply reads one reply frame, bounded by the call timeout when set.
+func (c *Client) readReply() ([]byte, error) {
+	if c.callTimeout > 0 {
+		c.conn.SetReadDeadline(time.Now().Add(c.callTimeout))
+	}
+	payload, err := server.ReadFrameInto(c.br, &c.readBuf)
+	if err == nil && c.callTimeout > 0 {
+		c.conn.SetReadDeadline(time.Time{})
+	}
+	return payload, err
 }
 
 // SessionID returns the server-assigned session ID.
@@ -188,7 +285,11 @@ func checkBatch(n int) error {
 
 // call sends one pre-encoded request and returns the reply payload,
 // transparently reconnecting, resuming the session and re-issuing the
-// same bytes (same request ID) on connection failure.
+// same bytes (same request ID) on connection failure. An ErrNotPrimary
+// reply — the node was demoted under this session — rotates to the next
+// failover address and retries there. Retries back off exponentially
+// (jittered, capped at the redial wait) BEFORE each attempt, so a failed
+// final attempt returns immediately instead of sleeping one last time.
 func (c *Client) call(req []byte) ([]byte, error) {
 	if len(req) > server.MaxFrame {
 		// Deterministic local failure: redialing cannot shrink the frame.
@@ -196,13 +297,16 @@ func (c *Client) call(req []byte) ([]byte, error) {
 	}
 	var lastErr error
 	for attempt := 0; attempt <= c.maxRedials; attempt++ {
+		if attempt > 0 {
+			time.Sleep(c.backoff(attempt))
+		}
 		if c.conn == nil {
 			if err := c.connect(); err != nil {
-				if _, ok := err.(*WireError); ok {
+				if we, ok := err.(*WireError); ok && we.Code != server.ErrNotPrimary {
 					return nil, err // protocol rejection: retrying cannot help
 				}
+				// ErrNotPrimary is retryable: a standby not yet promoted.
 				lastErr = err
-				time.Sleep(c.redialWait)
 				continue
 			}
 		}
@@ -216,13 +320,21 @@ func (c *Client) call(req []byte) ([]byte, error) {
 				c.conn.Close() // reply is lost; the resume path below recovers it
 			}
 			var payload []byte
-			if payload, err = server.ReadFrameInto(c.br, &c.readBuf); err == nil {
+			if payload, err = c.readReply(); err == nil {
+				if len(payload) > 0 && payload[0] == server.ErrNotPrimary {
+					// Demoted (fenced) under us: fail over and re-issue.
+					r := server.NewReader(payload)
+					r.U8()
+					lastErr = &WireError{Code: server.ErrNotPrimary, Msg: r.Key()}
+					c.nextAddr()
+					c.KillConn()
+					continue
+				}
 				return payload, nil
 			}
 		}
 		c.KillConn()
 		lastErr = err
-		time.Sleep(c.redialWait)
 	}
 	return nil, fmt.Errorf("client: request not resumable after %d redials: %w", c.maxRedials, lastErr)
 }
@@ -287,6 +399,21 @@ func (c *Client) Del(key string, plan ...uint32) (runtime.Outcome[int], error) {
 		return runtime.Outcome[int]{}, err
 	}
 	c.enc = server.AppendDel(c.enc[:0], c.id(), planOf(plan), key)
+	return c.callOutcome(c.enc)
+}
+
+// ReissueLast re-sends the most recent Get/Put/Del request byte-for-byte
+// — same session, same request ID — and returns its outcome. By the
+// resume semantics (docs/PROTOCOL.md) the server must replay the
+// original verdict from the session's outcome window, never re-execute;
+// after a failover this is the recovered window of the promoted replica.
+// A chaos/verification hook, like KillConn: the failover storm uses it
+// to prove a verdict was served from a replica's recovered state. Only
+// valid while no newer request has been encoded.
+func (c *Client) ReissueLast() (runtime.Outcome[int], error) {
+	if len(c.enc) == 0 || (c.enc[0] != server.OpGet && c.enc[0] != server.OpPut && c.enc[0] != server.OpDel) {
+		return runtime.Outcome[int]{}, fmt.Errorf("client: no single-key request to reissue")
+	}
 	return c.callOutcome(c.enc)
 }
 
@@ -394,12 +521,14 @@ func (c *Client) PipelinePut(entries []shardkv.KV) ([]runtime.Outcome[int], erro
 	outs := make([]runtime.Outcome[int], len(entries))
 	done := 0
 	for attempt := 0; attempt <= c.maxRedials; attempt++ {
+		if attempt > 0 {
+			time.Sleep(c.backoff(attempt))
+		}
 		if c.conn == nil {
 			if err := c.connect(); err != nil {
-				if _, ok := err.(*WireError); ok {
+				if we, ok := err.(*WireError); ok && we.Code != server.ErrNotPrimary {
 					return nil, err
 				}
-				time.Sleep(c.redialWait)
 				continue
 			}
 		}
@@ -413,7 +542,7 @@ func (c *Client) PipelinePut(entries []shardkv.KV) ([]runtime.Outcome[int], erro
 				return err
 			}
 			for done < len(entries) {
-				payload, err := server.ReadFrameInto(c.br, &c.readBuf)
+				payload, err := c.readReply()
 				if err != nil {
 					return err
 				}
@@ -429,11 +558,15 @@ func (c *Client) PipelinePut(entries []shardkv.KV) ([]runtime.Outcome[int], erro
 		if err == nil {
 			return outs, nil
 		}
-		if _, ok := err.(*WireError); ok {
-			return nil, err
+		if we, ok := err.(*WireError); ok {
+			if we.Code != server.ErrNotPrimary {
+				return nil, err
+			}
+			// Demoted mid-pipeline: treat like a lost connection — fail
+			// over and re-issue the unanswered suffix from done.
+			c.nextAddr()
 		}
 		c.KillConn()
-		time.Sleep(c.redialWait)
 	}
 	return nil, fmt.Errorf("client: pipeline not resumable after %d redials", c.maxRedials)
 }
@@ -474,6 +607,62 @@ func (c *Client) Stats() ([]shardkv.StatsSnapshot, error) {
 		return nil, fmt.Errorf("client: malformed stats reply")
 	}
 	return snaps, nil
+}
+
+// Promote asks the node to become (or confirm itself as) primary,
+// returning the generation number it now serves under. On a warm standby
+// this installs the replicated state and starts serving; on a node that
+// already promoted it is an idempotent no-op; on the original primary it
+// fences the node (ErrNotPrimary for every later data op). Admin tools
+// issue it over an observer session.
+func (c *Client) Promote() (uint64, error) {
+	payload, err := c.call(server.EncodePromote(c.id()))
+	if err != nil {
+		return 0, err
+	}
+	r := server.NewReader(payload)
+	if code := r.U8(); code != server.StatusOK {
+		return 0, &WireError{Code: code, Msg: r.Key()}
+	}
+	gen := r.U64()
+	if r.Err || r.Rest() != 0 {
+		return 0, fmt.Errorf("client: malformed PROMOTE reply")
+	}
+	return gen, nil
+}
+
+// ServerStatus is a point-in-time snapshot of a node's replication role
+// and progress, served from atomics on any node — primary, standby or
+// fenced — so pollers can watch a failover without being rejected.
+type ServerStatus struct {
+	Role             byte   // server.RolePrimary / RoleStandby / RoleFenced
+	Generation       uint64 // fencing generation from the MANIFEST
+	RecoveredReplays uint64 // replays served from a recovered outcome window
+	ReplSeq          uint64 // last replication barrier sequence staged
+	ReplAcked        uint64 // min barrier acked across sync subscribers
+	Replicas         uint64 // currently attached replica streams
+}
+
+// ServerStats fetches the node's replication status.
+func (c *Client) ServerStats() (ServerStatus, error) {
+	payload, err := c.call(server.EncodeServerStats(c.id()))
+	if err != nil {
+		return ServerStatus{}, err
+	}
+	r := server.NewReader(payload)
+	if code := r.U8(); code != server.StatusOK {
+		return ServerStatus{}, &WireError{Code: code, Msg: r.Key()}
+	}
+	st := ServerStatus{Role: r.U8()}
+	st.Generation = r.U64()
+	st.RecoveredReplays = r.U64()
+	st.ReplSeq = r.U64()
+	st.ReplAcked = r.U64()
+	st.Replicas = r.U64()
+	if r.Err || r.Rest() != 0 {
+		return ServerStatus{}, fmt.Errorf("client: malformed SERVER-STATS reply")
+	}
+	return st, nil
 }
 
 // Close ends the session (releasing its process slot server-side) and

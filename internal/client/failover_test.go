@@ -1,0 +1,142 @@
+package client_test
+
+// PR 9 client-side fixes: the redial loop's backoff (capped exponential
+// with jitter, no trailing sleep), the per-call timeout that turns a
+// dead-but-listening server into an error instead of a hang, and
+// multi-address failover dialing.
+
+import (
+	"encoding/binary"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"detectable/internal/client"
+	"detectable/internal/server"
+)
+
+// deadAddr returns an address that refuses connections: bound once to
+// reserve it, then released.
+func deadAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// TestRedialBackoffWallClock pins the redial loop's timing contract: with
+// maxRedials=4 and an 80ms cap, the pre-attempt sleeps ramp 10→20→40→80ms
+// (each jittered into [d/2, d]), so the whole failed call costs at most
+// 150ms of sleep and there is NO sleep after the final attempt. The old
+// loop slept a fixed 50ms after every attempt including the last — 250ms
+// minimum — so finishing under 240ms proves both halves of the fix.
+func TestRedialBackoffWallClock(t *testing.T) {
+	srv, _ := startServer(t, 2, 1)
+	c, err := client.Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	c.SetRedialPolicy(4, 80*time.Millisecond)
+	srv.Close()
+	c.KillConn()
+
+	start := time.Now()
+	_, err = c.Put("k", 1)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("Put against a closed server succeeded")
+	}
+	if elapsed < 50*time.Millisecond {
+		t.Fatalf("call failed in %v: the redial loop is not backing off", elapsed)
+	}
+	if elapsed > 240*time.Millisecond {
+		t.Fatalf("call took %v; capped backoff without a trailing sleep should stay under 240ms", elapsed)
+	}
+}
+
+// blackholeServer accepts connections and answers the HELLO handshake,
+// then swallows every request without ever replying — the
+// dead-but-listening failure mode (a wedged server, a partition that
+// still completes TCP handshakes).
+func blackholeServer(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				if _, err := server.ReadFrame(conn); err != nil {
+					return
+				}
+				reply := []byte{server.StatusOK}
+				reply = binary.BigEndian.AppendUint64(reply, 7) // sid
+				reply = binary.BigEndian.AppendUint32(reply, 0) // pid
+				reply = append(reply, 0)                        // not resumed
+				if err := server.WriteFrame(conn, reply); err != nil {
+					return
+				}
+				io.Copy(io.Discard, conn) //nolint:errcheck — drain until the client gives up
+			}(conn)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// TestCallTimeoutBoundsDeadButListeningServer pins the S2 fix: without a
+// call timeout, a server that accepts and handshakes but never answers
+// wedges the call forever; with SetCallTimeout every reply read (and
+// every redial handshake) is bounded, so the call fails in bounded wall
+// time.
+func TestCallTimeoutBoundsDeadButListeningServer(t *testing.T) {
+	addr := blackholeServer(t)
+	c, err := client.Dial(addr) // handshake succeeds: the server looks alive
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	c.SetCallTimeout(100 * time.Millisecond)
+	c.SetRedialPolicy(2, 20*time.Millisecond)
+
+	start := time.Now()
+	_, err = c.Put("k", 1)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("Put against a silent server succeeded")
+	}
+	if elapsed > 3*time.Second {
+		t.Fatalf("call took %v; the call timeout is not bounding dead reads", elapsed)
+	}
+}
+
+// TestDialFailoverSkipsDeadAddress: the failover set may lead with a dead
+// node; the dial rotates to the live one and the session works normally.
+func TestDialFailoverSkipsDeadAddress(t *testing.T) {
+	srv, store := startServer(t, 2, 1)
+	c, err := client.DialFailover([]string{deadAddr(t), srv.Addr().String()})
+	if err != nil {
+		t.Fatalf("DialFailover: %v", err)
+	}
+	defer c.Close()
+	out, err := c.Put("k", 42)
+	if err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if !out.Status.Linearized() {
+		t.Fatalf("Put verdict %v, want linearized", out.Status)
+	}
+	if got := store.Peek("k"); got != 42 {
+		t.Fatalf("store holds %d, want 42", got)
+	}
+}

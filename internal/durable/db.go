@@ -9,6 +9,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // DefaultCompactAt is the per-log byte threshold past which the next
@@ -35,6 +36,10 @@ type manifest struct {
 	Version int `json:"version"`
 	Shards  int `json:"shards"`
 	Procs   int `json:"procs"`
+	// Generation is the replication fencing generation (replicate.go):
+	// 0 at creation, advanced durably by every promotion. A primary whose
+	// generation is behind a replica's has been fenced.
+	Generation uint64 `json:"generation,omitempty"`
 }
 
 // SessionState is one recovered session: its identity, leased process
@@ -83,6 +88,8 @@ type DB struct {
 	procs     int
 	compactAt int64
 	gc        groupCommit
+	repl      replState     // primary/backup replication hub (replicate.go)
+	gen       atomic.Uint64 // fencing generation mirrored from the MANIFEST
 }
 
 // Open opens the data directory at dir on the real filesystem. See OpenFs.
@@ -112,12 +119,14 @@ func OpenFs(fsys Fs, dir string, shards, procs, window int) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := checkManifest(fsys, dir, shards, procs); err != nil {
+	gen, err := checkManifest(fsys, dir, shards, procs)
+	if err != nil {
 		unlock()
 		return nil, err
 	}
 
 	db := &DB{fs: fsys, dir: dir, unlock: unlock, procs: procs, compactAt: DefaultCompactAt}
+	db.gen.Store(gen)
 	db.sessions = sessionsFile{
 		snap:   filepath.Join(dir, "sessions.snap"),
 		state:  make(map[uint64]*SessionState),
@@ -157,26 +166,26 @@ func OpenFs(fsys Fs, dir string, shards, procs, window int) (*DB, error) {
 }
 
 // checkManifest creates the geometry manifest on first open and verifies
-// it on every later one.
-func checkManifest(fsys Fs, dir string, shards, procs int) error {
+// it on every later one, returning the fencing generation it records.
+func checkManifest(fsys Fs, dir string, shards, procs int) (uint64, error) {
 	path := filepath.Join(dir, "MANIFEST")
 	data, err := fsys.ReadFile(path)
 	if os.IsNotExist(err) {
 		data, _ = json.Marshal(manifest{Version: 1, Shards: shards, Procs: procs})
-		return AtomicWriteFileFs(fsys, path, append(data, '\n'))
+		return 0, AtomicWriteFileFs(fsys, path, append(data, '\n'))
 	}
 	if err != nil {
-		return err
+		return 0, err
 	}
 	var m manifest
 	if err := json.Unmarshal(data, &m); err != nil {
-		return fmt.Errorf("durable: corrupt MANIFEST in %s: %w", dir, err)
+		return 0, fmt.Errorf("durable: corrupt MANIFEST in %s: %w", dir, err)
 	}
 	if m.Shards != shards || m.Procs != procs {
-		return fmt.Errorf("durable: %s was created with shards=%d procs=%d, refusing to open with shards=%d procs=%d",
+		return 0, fmt.Errorf("durable: %s was created with shards=%d procs=%d, refusing to open with shards=%d procs=%d",
 			dir, m.Shards, m.Procs, shards, procs)
 	}
-	return nil
+	return m.Generation, nil
 }
 
 func (db *DB) closePartial() {
@@ -295,6 +304,7 @@ func (db *DB) journalPut(i int, key string, val int64) {
 		// verdicts as durable.
 		panic(fmt.Sprintf("durable: shard %d append failed: %v", i, err))
 	}
+	db.repl.tapShard(i, sf.enc)
 	if sf.log.Size() >= db.compactAt {
 		if err := db.compactShardLocked(sf); err != nil {
 			panic(fmt.Sprintf("durable: shard %d compaction failed: %v", i, err))
@@ -457,11 +467,11 @@ func (db *DB) NextSID() uint64 {
 func (db *DB) AppendHello(sid uint64, pid int) error {
 	ss := &db.sessions
 	ss.mu.Lock()
-	defer ss.mu.Unlock()
 	ss.enc = append(ss.enc[:0], recHello)
 	ss.enc = binary.BigEndian.AppendUint64(ss.enc, sid)
 	ss.enc = binary.BigEndian.AppendUint64(ss.enc, uint64(int64(pid)))
 	if err := ss.log.Append(ss.enc); err != nil {
+		ss.mu.Unlock()
 		return err
 	}
 	if sid > ss.nextSID {
@@ -479,8 +489,13 @@ func (db *DB) AppendHello(sid uint64, pid int) error {
 		if created {
 			delete(ss.state, sid)
 		}
+		ss.mu.Unlock()
 		return err
 	}
+	db.repl.tapSess(ss.enc)
+	seq := db.repl.tapBarrier()
+	ss.mu.Unlock()
+	db.repl.waitBarrier(seq)
 	return nil
 }
 
@@ -505,19 +520,28 @@ func (db *DB) syncOrCompactSessionsLocked() error {
 func (db *DB) NoteSID(sid uint64) error {
 	ss := &db.sessions
 	ss.mu.Lock()
-	defer ss.mu.Unlock()
 	if sid <= ss.nextSID {
+		ss.mu.Unlock()
 		return nil
 	}
 	ss.enc = append(ss.enc[:0], recNextSID)
 	ss.enc = binary.BigEndian.AppendUint64(ss.enc, sid)
 	if err := ss.log.Append(ss.enc); err != nil {
+		ss.mu.Unlock()
 		return err
 	}
 	// Raise the mirror before the barrier: a compaction must snapshot the
 	// raised mark, and burning an ID that fails to sync is always safe.
 	ss.nextSID = sid
-	return db.syncOrCompactSessionsLocked()
+	if err := db.syncOrCompactSessionsLocked(); err != nil {
+		ss.mu.Unlock()
+		return err
+	}
+	db.repl.tapSess(ss.enc)
+	seq := db.repl.tapBarrier()
+	ss.mu.Unlock()
+	db.repl.waitBarrier(seq)
+	return nil
 }
 
 // AppendEnd durably records the end of session sid, releasing it from
@@ -525,14 +549,22 @@ func (db *DB) NoteSID(sid uint64) error {
 func (db *DB) AppendEnd(sid uint64) error {
 	ss := &db.sessions
 	ss.mu.Lock()
-	defer ss.mu.Unlock()
 	delete(ss.state, sid)
 	ss.enc = append(ss.enc[:0], recEnd)
 	ss.enc = binary.BigEndian.AppendUint64(ss.enc, sid)
 	if err := ss.log.Append(ss.enc); err != nil {
+		ss.mu.Unlock()
 		return err
 	}
-	return db.syncOrCompactSessionsLocked()
+	if err := db.syncOrCompactSessionsLocked(); err != nil {
+		ss.mu.Unlock()
+		return err
+	}
+	db.repl.tapSess(ss.enc)
+	seq := db.repl.tapBarrier()
+	ss.mu.Unlock()
+	db.repl.waitBarrier(seq)
+	return nil
 }
 
 // CommitOutcome makes one released verdict durable: shard effects first,
@@ -561,18 +593,25 @@ func (db *DB) commitOutcomeSync(sid, reqID uint64, reply []byte) error {
 	}
 	ss := &db.sessions
 	ss.mu.Lock()
-	defer ss.mu.Unlock()
 	ss.noteOutcome(sid, reqID, reply)
 	ss.enc = appendOutcomeRec(ss.enc[:0], sid, reqID, reply)
 	if err := ss.log.Append(ss.enc); err != nil {
+		ss.mu.Unlock()
 		return err
 	}
 	if err := db.syncOrCompactSessionsLocked(); err != nil {
+		ss.mu.Unlock()
 		return err
 	}
+	db.repl.tapSess(ss.enc)
+	seq := db.repl.tapBarrier()
+	ss.mu.Unlock()
 	if MutantOutcomeFirst {
-		return db.SyncShards()
+		if err := db.SyncShards(); err != nil {
+			return err
+		}
 	}
+	db.repl.waitBarrier(seq)
 	return nil
 }
 

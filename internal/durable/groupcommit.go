@@ -170,24 +170,35 @@ func (db *DB) anchorEpoch(e *epoch) error {
 	}
 	ss := &db.sessions
 	ss.mu.Lock()
-	defer ss.mu.Unlock()
 	for off := 0; off < len(e.buf); {
 		sid, reqID, reply, n, err := nextOutcomeRec(e.buf[off:])
 		if err != nil {
+			ss.mu.Unlock()
 			return err
 		}
 		ss.noteOutcome(sid, reqID, reply)
 		if err := ss.log.Append(e.buf[off : off+n]); err != nil {
+			ss.mu.Unlock()
 			return err
 		}
+		db.repl.tapSess(e.buf[off : off+n])
 		off += n
 	}
 	if err := db.syncOrCompactSessionsLocked(); err != nil {
+		ss.mu.Unlock()
 		return err
 	}
+	// The epoch boundary is one replication barrier: every staged verdict
+	// is released only after the backup has acknowledged it, so group
+	// commit and replication share this single fsync boundary.
+	seq := db.repl.tapBarrier()
+	ss.mu.Unlock()
 	if MutantOutcomeFirst {
-		return db.SyncShards()
+		if err := db.SyncShards(); err != nil {
+			return err
+		}
 	}
+	db.repl.waitBarrier(seq)
 	return nil
 }
 

@@ -1,0 +1,706 @@
+package durable
+
+// Primary/backup replication over the durable layer (docs/REPLICATION.md).
+//
+// The primary taps every record it makes durable — shard puts as they are
+// journaled, session records as they are appended — into per-subscriber
+// buffers, and marks each fsync boundary with a barrier message carrying a
+// monotone sequence number. A synchronous subscriber gates verdict release:
+// the commit paths (AppendHello, NoteSID, AppendEnd, CommitOutcome, and the
+// group-commit epoch anchor) wait for the backup to acknowledge the barrier
+// before returning, so group commit and replication share one fsync
+// boundary — an epoch's verdicts are released only after that epoch is
+// durable on both nodes. A subscriber that stalls past the ack timeout is
+// dropped and its waiters released (replication degrades; durability on the
+// primary is never weakened).
+//
+// A new subscriber first receives a fuzzy snapshot — every shard mirror in
+// sorted key order, then the sessions mirror — bracketed by SnapBegin /
+// SnapEnd, then the live tap. Puts are last-wins and session records
+// idempotent, so applying the snapshot over any backup prefix converges;
+// SnapEnd doubles as the reconciliation point for sessions the backup saw
+// end while it was disconnected (snapshots can only assert liveness, never
+// deletion).
+//
+// The apply side (Replica) keeps the backup's own disk crash-consistent:
+// shard puts are journaled eagerly (early effects are harmless — the
+// primary's own commit protocol already tolerates effects without
+// outcomes), but session records are staged in memory until a barrier
+// arrives, then appended and fsynced in the invariant order (shard barrier
+// first, then sessions). A crash-prefix image of the backup's data
+// directory therefore satisfies the same outcome-implies-effect invariant
+// as the primary's, which internal/simio checks byte-for-byte.
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Replication stream message kinds. Each message travels as one
+// u32-length-prefixed frame: kind byte, then the body.
+const (
+	// ReplSnapBegin opens a snapshot: u64 generation, u32 shards,
+	// u32 procs, u32 window. The backup verifies geometry and fencing
+	// before applying anything.
+	ReplSnapBegin byte = 0x01
+	// ReplShardRec is one shard record: u32 shard index, then a raw
+	// recPut record exactly as it sits in the shard log.
+	ReplShardRec byte = 0x02
+	// ReplSessRec is one raw sessions-log record (recHello, recOutcome,
+	// recEnd, or recNextSID).
+	ReplSessRec byte = 0x03
+	// ReplSnapEnd closes a snapshot: u64 barrier sequence. It is itself a
+	// barrier, and the point where the backup ends live sessions absent
+	// from the snapshot.
+	ReplSnapEnd byte = 0x04
+	// ReplBarrier marks one primary fsync boundary: u64 sequence.
+	ReplBarrier byte = 0x05
+	// ReplAck flows backup→primary: u64 sequence, acknowledging that
+	// every record up to that barrier is durable on the backup.
+	ReplAck byte = 0x06
+)
+
+// DefaultReplSubLimit bounds a subscriber's pending buffer; a backup that
+// falls further behind than this is dropped rather than stalling the
+// primary's memory.
+const DefaultReplSubLimit = 64 << 20
+
+// DefaultReplAckTimeout bounds how long a commit waits for a synchronous
+// subscriber's barrier ack before dropping it and degrading to
+// unreplicated operation.
+const DefaultReplAckTimeout = 10 * time.Second
+
+// ErrStalePrimary is returned (wrapped) by Replica.Apply when the primary
+// announces a generation below the replica's own: the replica has been
+// promoted past that primary and must never accept its stream.
+var ErrStalePrimary = errors.New("durable: primary generation is behind this replica (fenced)")
+
+var errReplSubClosed = errors.New("durable: replication subscription closed")
+
+// replState is the primary-side replication hub embedded in DB.
+type replState struct {
+	nsubs      atomic.Int32  // registered subscribers (fast-path gate for taps)
+	nsync      atomic.Int32  // subscribers whose acks gate verdict release
+	seq        atomic.Uint64 // barrier sequence; bumped only under sessions.mu
+	ackTimeout atomic.Int64  // nanoseconds; 0 = DefaultReplAckTimeout
+
+	mu   sync.Mutex
+	subs map[*ReplSub]struct{}
+}
+
+// ReplSub is one replication subscription: a buffer of framed stream
+// messages the serving goroutine drains with Next, and the ack high-water
+// mark the backup raises with Ack.
+type ReplSub struct {
+	r       *replState
+	syncAck bool
+	limit   int
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	buf    []byte // pending framed messages
+	spare  []byte // the buffer Next handed out last time, recycled
+	acked  uint64
+	closed bool
+	err    error
+}
+
+// Subscribe registers a replication subscriber and stages a fuzzy snapshot
+// of the current state followed by the live record tap. limit bounds the
+// pending buffer (≤ 0 means DefaultReplSubLimit). With syncAck, commits on
+// this DB wait for the subscriber's barrier acks before releasing
+// verdicts — the semi-synchronous mode the server uses; without it the
+// subscription is a passive tap (tests, tooling).
+func (db *DB) Subscribe(limit int, syncAck bool) *ReplSub {
+	if limit <= 0 {
+		limit = DefaultReplSubLimit
+	}
+	sub := &ReplSub{r: &db.repl, syncAck: syncAck, limit: limit}
+	sub.cond = sync.NewCond(&sub.mu)
+
+	r := &db.repl
+	r.mu.Lock()
+	if r.subs == nil {
+		r.subs = make(map[*ReplSub]struct{})
+	}
+	r.subs[sub] = struct{}{}
+	r.nsubs.Add(1)
+	if syncAck {
+		r.nsync.Add(1)
+	}
+	// The snapshot header is staged inside the registration lock so no
+	// concurrent tap can slot a record ahead of it.
+	var hdr [21]byte
+	hdr[0] = ReplSnapBegin
+	binary.BigEndian.PutUint64(hdr[1:], db.gen.Load())
+	binary.BigEndian.PutUint32(hdr[9:], uint32(len(db.shards)))
+	binary.BigEndian.PutUint32(hdr[13:], uint32(db.procs))
+	binary.BigEndian.PutUint32(hdr[17:], uint32(db.sessions.window))
+	sub.stageMsg(hdr[:], nil)
+	r.mu.Unlock()
+
+	// Fuzzy snapshot: shard mirrors first, sessions after, matching the
+	// outcome-implies-effect order. Concurrent commits tap records that
+	// interleave with the snapshot; both sides are last-wins/idempotent,
+	// so the interleaving converges to the primary's state.
+	var enc []byte
+	for i, sf := range db.shards {
+		var shdr [5]byte
+		shdr[0] = ReplShardRec
+		binary.BigEndian.PutUint32(shdr[1:], uint32(i))
+		sf.mu.Lock()
+		keys := make([]string, 0, len(sf.state))
+		for k := range sf.state {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			enc = encodePut(enc[:0], k, sf.state[k])
+			sub.stageMsg(shdr[:], enc)
+		}
+		sf.mu.Unlock()
+	}
+	ss := &db.sessions
+	kindSess := [1]byte{ReplSessRec}
+	ss.mu.Lock()
+	enc = append(enc[:0], recNextSID)
+	enc = binary.BigEndian.AppendUint64(enc, ss.nextSID)
+	sub.stageMsg(kindSess[:], enc)
+	sids := make([]uint64, 0, len(ss.state))
+	for sid := range ss.state {
+		sids = append(sids, sid)
+	}
+	sort.Slice(sids, func(i, j int) bool { return sids[i] < sids[j] })
+	for _, sid := range sids {
+		s := ss.state[sid]
+		enc = append(enc[:0], recHello)
+		enc = binary.BigEndian.AppendUint64(enc, s.SID)
+		enc = binary.BigEndian.AppendUint64(enc, uint64(int64(s.PID)))
+		sub.stageMsg(kindSess[:], enc)
+		reqs := make([]uint64, 0, len(s.Window))
+		for id := range s.Window {
+			reqs = append(reqs, id)
+		}
+		sort.Slice(reqs, func(i, j int) bool { return reqs[i] < reqs[j] })
+		for _, id := range reqs {
+			enc = appendOutcomeRec(enc[:0], s.SID, id, s.Window[id])
+			sub.stageMsg(kindSess[:], enc)
+		}
+	}
+	// The snapshot close is a barrier in its own right; its sequence is
+	// allocated under ss.mu like every other barrier, so barrier order on
+	// the stream matches sequence order.
+	seq := r.seq.Add(1)
+	var ehdr [9]byte
+	ehdr[0] = ReplSnapEnd
+	binary.BigEndian.PutUint64(ehdr[1:], seq)
+	sub.stageMsg(ehdr[:], nil)
+	ss.mu.Unlock()
+	return sub
+}
+
+// SetReplAckTimeout overrides how long commits wait for a synchronous
+// subscriber's barrier ack before dropping it (0 restores the default).
+func (db *DB) SetReplAckTimeout(d time.Duration) { db.repl.ackTimeout.Store(int64(d)) }
+
+// ReplStatus reports the replication high-water marks: the latest barrier
+// sequence issued, the lowest sequence acknowledged by every synchronous
+// subscriber (0 when there are none), and the subscriber count.
+func (db *DB) ReplStatus() (seq, acked uint64, subs int) {
+	r := &db.repl
+	seq = r.seq.Load()
+	r.mu.Lock()
+	first := true
+	for sub := range r.subs {
+		subs++
+		if !sub.syncAck {
+			continue
+		}
+		a := sub.ackedSeq()
+		if first || a < acked {
+			acked = a
+			first = false
+		}
+	}
+	r.mu.Unlock()
+	if first {
+		acked = 0
+	}
+	return seq, acked, subs
+}
+
+// ---- primary-side tap ----
+
+// tapShard stages one shard put record to every subscriber. Called with
+// the shard's mu held, immediately after the log append succeeds.
+func (r *replState) tapShard(shard int, rec []byte) {
+	if r.nsubs.Load() == 0 {
+		return
+	}
+	var hdr [5]byte
+	hdr[0] = ReplShardRec
+	binary.BigEndian.PutUint32(hdr[1:], uint32(shard))
+	r.tapMsg(hdr[:], rec)
+}
+
+// tapSess stages one sessions-log record to every subscriber. Called with
+// sessions.mu held, immediately after the log append succeeds.
+func (r *replState) tapSess(rec []byte) {
+	if r.nsubs.Load() == 0 {
+		return
+	}
+	r.tapMsg([]byte{ReplSessRec}, rec)
+}
+
+// tapBarrier allocates the next barrier sequence and stages the barrier
+// message. Called with sessions.mu held after a successful sessions
+// barrier — every barrier sequence is allocated under that lock, so the
+// stream order of barriers matches sequence order.
+func (r *replState) tapBarrier() uint64 {
+	seq := r.seq.Add(1)
+	if r.nsubs.Load() != 0 {
+		var hdr [9]byte
+		hdr[0] = ReplBarrier
+		binary.BigEndian.PutUint64(hdr[1:], seq)
+		r.tapMsg(hdr[:], nil)
+	}
+	return seq
+}
+
+func (r *replState) tapMsg(hdr, rec []byte) {
+	r.mu.Lock()
+	var dead []*ReplSub
+	for sub := range r.subs {
+		if !sub.stageMsg(hdr, rec) {
+			dead = append(dead, sub)
+		}
+	}
+	for _, sub := range dead {
+		r.dropLocked(sub)
+	}
+	r.mu.Unlock()
+}
+
+func (r *replState) dropLocked(sub *ReplSub) {
+	if _, ok := r.subs[sub]; !ok {
+		return
+	}
+	delete(r.subs, sub)
+	r.nsubs.Add(-1)
+	if sub.syncAck {
+		r.nsync.Add(-1)
+	}
+}
+
+func (r *replState) unregister(sub *ReplSub) {
+	r.mu.Lock()
+	r.dropLocked(sub)
+	r.mu.Unlock()
+}
+
+// waitBarrier blocks until every synchronous subscriber has acknowledged
+// barrier seq, the ack timeout passes (the laggard is dropped), or the
+// subscriber closes. Called with no DB locks held — commit paths release
+// sessions.mu first, so the backup's ack path can never deadlock against
+// the primary's commit path.
+func (r *replState) waitBarrier(seq uint64) {
+	if r.nsync.Load() == 0 {
+		return
+	}
+	r.mu.Lock()
+	var waits []*ReplSub
+	for sub := range r.subs {
+		if sub.syncAck {
+			waits = append(waits, sub)
+		}
+	}
+	r.mu.Unlock()
+	timeout := time.Duration(r.ackTimeout.Load())
+	if timeout == 0 {
+		timeout = DefaultReplAckTimeout
+	}
+	for _, sub := range waits {
+		if !sub.awaitAck(seq, timeout) {
+			// The backup stalled past the timeout: drop it so one dead
+			// replica cannot wedge the primary. Detectability on the
+			// primary is unaffected; replication has degraded.
+			sub.fail(fmt.Errorf("durable: replication ack for barrier %d timed out after %v", seq, timeout))
+		}
+	}
+}
+
+// ---- subscriber ----
+
+// stageMsg appends one framed message (hdr ++ rec) to the pending buffer.
+// Returns false if the subscription is closed or just overflowed.
+func (s *ReplSub) stageMsg(hdr, rec []byte) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	n := len(hdr) + len(rec)
+	if len(s.buf)+4+n > s.limit {
+		s.closeLocked(fmt.Errorf("durable: replication subscriber fell %d bytes behind (limit %d)", len(s.buf), s.limit))
+		return false
+	}
+	s.buf = binary.BigEndian.AppendUint32(s.buf, uint32(n))
+	s.buf = append(s.buf, hdr...)
+	s.buf = append(s.buf, rec...)
+	s.cond.Broadcast()
+	return true
+}
+
+// Next blocks until pending stream bytes are available and returns them
+// (a whole number of framed messages, ready to write to the wire as-is).
+// The returned slice is valid until the next call. Pending bytes staged
+// before a close are still drained; after that Next returns io.EOF for a
+// clean close or the failure that tore the subscription down.
+func (s *ReplSub) Next() ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(s.buf) == 0 && !s.closed {
+		s.cond.Wait()
+	}
+	if len(s.buf) == 0 {
+		if s.err != nil {
+			return nil, s.err
+		}
+		return nil, io.EOF
+	}
+	out := s.buf
+	s.buf = s.spare[:0]
+	s.spare = out
+	return out, nil
+}
+
+// Ack raises the subscriber's acknowledged barrier sequence, releasing any
+// commit waiting on it.
+func (s *ReplSub) Ack(seq uint64) {
+	s.mu.Lock()
+	if seq > s.acked {
+		s.acked = seq
+		s.cond.Broadcast()
+	}
+	s.mu.Unlock()
+}
+
+func (s *ReplSub) ackedSeq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.acked
+}
+
+// awaitAck waits until acked ≥ seq or the timeout elapses. Returns whether
+// the ack arrived (a closed subscription counts only if it acked first).
+func (s *ReplSub) awaitAck(seq uint64, timeout time.Duration) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.acked >= seq {
+		return true
+	}
+	expired := false
+	timer := time.AfterFunc(timeout, func() {
+		s.mu.Lock()
+		expired = true
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	})
+	defer timer.Stop()
+	for s.acked < seq && !s.closed && !expired {
+		s.cond.Wait()
+	}
+	return s.acked >= seq
+}
+
+// Close cleanly tears the subscription down: pending bytes already staged
+// remain drainable via Next, no new records are staged, and any commit
+// waiting on this subscriber is released.
+func (s *ReplSub) Close() {
+	s.mu.Lock()
+	s.closeLocked(nil)
+	s.mu.Unlock()
+	s.r.unregister(s)
+}
+
+func (s *ReplSub) fail(err error) {
+	s.mu.Lock()
+	s.closeLocked(err)
+	s.mu.Unlock()
+	s.r.unregister(s)
+}
+
+// closeLocked marks the subscription closed. Called with s.mu held; the
+// caller (or the next tap sweep) unregisters it from the hub.
+func (s *ReplSub) closeLocked(err error) {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	if err == nil {
+		err = errReplSubClosed
+	}
+	if s.err == nil && !errors.Is(err, errReplSubClosed) {
+		s.err = err
+	}
+	s.cond.Broadcast()
+}
+
+// ---- acks ----
+
+// AppendReplAck appends one encoded ack message for barrier seq to dst.
+func AppendReplAck(dst []byte, seq uint64) []byte {
+	dst = append(dst, ReplAck)
+	return binary.BigEndian.AppendUint64(dst, seq)
+}
+
+// ParseReplAck decodes an ack message.
+func ParseReplAck(msg []byte) (seq uint64, ok bool) {
+	if len(msg) != 9 || msg[0] != ReplAck {
+		return 0, false
+	}
+	return binary.BigEndian.Uint64(msg[1:]), true
+}
+
+// ---- generation / fencing ----
+
+// Generation returns the data directory's fencing generation. A freshly
+// created directory is generation 0; every promotion advances it.
+func (db *DB) Generation() uint64 { return db.gen.Load() }
+
+// SetGeneration durably advances the fencing generation, rewriting the
+// MANIFEST atomically. Generations are monotone: lowering one is refused
+// (fencing must never roll back).
+func (db *DB) SetGeneration(gen uint64) error {
+	db.repl.mu.Lock()
+	defer db.repl.mu.Unlock()
+	cur := db.gen.Load()
+	if gen == cur {
+		return nil
+	}
+	if gen < cur {
+		return fmt.Errorf("durable: generation may only advance (have %d, asked for %d)", cur, gen)
+	}
+	m := manifest{Version: 1, Shards: len(db.shards), Procs: db.procs, Generation: gen}
+	data, _ := json.Marshal(m)
+	if err := AtomicWriteFileFs(db.fs, filepath.Join(db.dir, "MANIFEST"), append(data, '\n')); err != nil {
+		return err
+	}
+	db.gen.Store(gen)
+	return nil
+}
+
+// ---- replica (apply side) ----
+
+// Replica applies a replication stream to a warm-standby DB. Shard records
+// are journaled to the backup's own logs as they arrive; session records
+// are staged in memory and appended+fsynced only when a barrier arrives,
+// preserving outcome-implies-effect on the backup's disk. Not safe for
+// concurrent use; feed it one stream.
+type Replica struct {
+	db       *DB
+	staged   []byte // u32-length-prefixed session records awaiting a barrier
+	inSnap   bool
+	snapSids map[uint64]struct{} // sessions asserted live by the snapshot in progress
+}
+
+// NewReplica returns an applier feeding db. The DB must not be serving —
+// it is the warm standby's.
+func (db *DB) NewReplica() *Replica { return &Replica{db: db} }
+
+// Apply folds one stream message (a frame payload: kind byte + body) into
+// the backup. It returns barrier=true with the barrier's sequence when the
+// message completed a durable boundary the backup should acknowledge.
+func (rp *Replica) Apply(msg []byte) (seq uint64, barrier bool, err error) {
+	if len(msg) < 1 {
+		return 0, false, fmt.Errorf("durable: empty replication message")
+	}
+	body := msg[1:]
+	switch msg[0] {
+	case ReplSnapBegin:
+		if len(body) != 20 {
+			return 0, false, fmt.Errorf("durable: malformed SnapBegin")
+		}
+		gen := binary.BigEndian.Uint64(body)
+		shards := int(binary.BigEndian.Uint32(body[8:]))
+		procs := int(binary.BigEndian.Uint32(body[12:]))
+		window := int(binary.BigEndian.Uint32(body[16:]))
+		if shards != len(rp.db.shards) || procs != rp.db.procs || window != rp.db.sessions.window {
+			return 0, false, fmt.Errorf("durable: replication geometry mismatch: primary shards=%d procs=%d window=%d, replica shards=%d procs=%d window=%d",
+				shards, procs, window, len(rp.db.shards), rp.db.procs, rp.db.sessions.window)
+		}
+		if cur := rp.db.Generation(); gen < cur {
+			return 0, false, fmt.Errorf("%w: primary gen %d < replica gen %d", ErrStalePrimary, gen, cur)
+		} else if gen > cur {
+			if err := rp.db.SetGeneration(gen); err != nil {
+				return 0, false, err
+			}
+		}
+		rp.inSnap = true
+		rp.snapSids = make(map[uint64]struct{})
+		rp.staged = rp.staged[:0] // a torn previous stream's stage never applies
+		return 0, false, nil
+
+	case ReplShardRec:
+		if len(body) < 4 {
+			return 0, false, fmt.Errorf("durable: malformed shard record message")
+		}
+		shard := int(binary.BigEndian.Uint32(body))
+		rec := body[4:]
+		if shard < 0 || shard >= len(rp.db.shards) {
+			return 0, false, fmt.Errorf("durable: shard record for shard %d of %d", shard, len(rp.db.shards))
+		}
+		if len(rec) < 1 || rec[0] != recPut {
+			return 0, false, fmt.Errorf("durable: unexpected shard record kind")
+		}
+		key, val, ok := decodePut(rec)
+		if !ok {
+			return 0, false, fmt.Errorf("durable: malformed replicated put record")
+		}
+		rp.db.journalPut(shard, key, val)
+		return 0, false, nil
+
+	case ReplSessRec:
+		kind, sid, err := checkSessRec(body)
+		if err != nil {
+			return 0, false, err
+		}
+		if rp.inSnap && kind == recHello {
+			rp.snapSids[sid] = struct{}{}
+		}
+		rp.staged = binary.BigEndian.AppendUint32(rp.staged, uint32(len(body)))
+		rp.staged = append(rp.staged, body...)
+		return 0, false, nil
+
+	case ReplSnapEnd:
+		if len(body) != 8 {
+			return 0, false, fmt.Errorf("durable: malformed SnapEnd")
+		}
+		if !rp.inSnap {
+			return 0, false, fmt.Errorf("durable: SnapEnd without SnapBegin")
+		}
+		// Reconcile deletions: a session live on the backup but absent
+		// from the snapshot ended while the backup was disconnected.
+		// Snapshots can only assert liveness, so the end is synthesized
+		// here.
+		for _, sid := range rp.db.liveSIDs() {
+			if _, ok := rp.snapSids[sid]; !ok {
+				var end [9]byte
+				end[0] = recEnd
+				binary.BigEndian.PutUint64(end[1:], sid)
+				rp.staged = binary.BigEndian.AppendUint32(rp.staged, uint32(len(end)))
+				rp.staged = append(rp.staged, end[:]...)
+			}
+		}
+		rp.inSnap = false
+		rp.snapSids = nil
+		fallthrough
+
+	case ReplBarrier:
+		if len(body) != 8 {
+			return 0, false, fmt.Errorf("durable: malformed barrier")
+		}
+		if err := rp.db.applyReplBarrier(rp.staged); err != nil {
+			return 0, false, err
+		}
+		rp.staged = rp.staged[:0]
+		return binary.BigEndian.Uint64(body), true, nil
+
+	default:
+		return 0, false, fmt.Errorf("durable: unexpected replication message kind 0x%02x", msg[0])
+	}
+}
+
+// checkSessRec validates the shape of one sessions-log record before it is
+// staged — a malformed record must never reach the backup's log, where it
+// would poison every future recovery.
+func checkSessRec(rec []byte) (kind byte, sid uint64, err error) {
+	if len(rec) < 1 {
+		return 0, 0, fmt.Errorf("durable: empty replicated session record")
+	}
+	switch rec[0] {
+	case recHello:
+		if len(rec) != 17 {
+			return 0, 0, fmt.Errorf("durable: malformed replicated hello record")
+		}
+	case recOutcome:
+		if len(rec) < 21 || len(rec) != 21+int(binary.BigEndian.Uint32(rec[17:])) {
+			return 0, 0, fmt.Errorf("durable: malformed replicated outcome record")
+		}
+	case recEnd, recNextSID:
+		if len(rec) != 9 {
+			return 0, 0, fmt.Errorf("durable: malformed replicated session record")
+		}
+	default:
+		return 0, 0, fmt.Errorf("durable: unexpected replicated session record kind 0x%02x", rec[0])
+	}
+	return rec[0], binary.BigEndian.Uint64(rec[1:]), nil
+}
+
+// liveSIDs returns the sids currently live in the sessions mirror.
+func (db *DB) liveSIDs() []uint64 {
+	ss := &db.sessions
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	sids := make([]uint64, 0, len(ss.state))
+	for sid := range ss.state {
+		sids = append(sids, sid)
+	}
+	sort.Slice(sids, func(i, j int) bool { return sids[i] < sids[j] })
+	return sids
+}
+
+// applyReplBarrier anchors one replicated barrier on the backup's disk:
+// shard logs synced first, then every staged session record appended to
+// the sessions log and folded into the mirror, then the sessions barrier —
+// the same order the primary's commit paths use, so the backup's crash
+// images satisfy the same invariants. staged is a concatenation of
+// u32-length-prefixed session records already validated by checkSessRec.
+func (db *DB) applyReplBarrier(staged []byte) error {
+	if err := db.SyncShards(); err != nil {
+		return err
+	}
+	ss := &db.sessions
+	ss.mu.Lock()
+	for off := 0; off < len(staged); {
+		if off+4 > len(staged) {
+			ss.mu.Unlock()
+			return fmt.Errorf("durable: truncated staged session record")
+		}
+		n := int(binary.BigEndian.Uint32(staged[off:]))
+		off += 4
+		if off+n > len(staged) {
+			ss.mu.Unlock()
+			return fmt.Errorf("durable: truncated staged session record")
+		}
+		rec := staged[off : off+n]
+		off += n
+		if err := ss.log.Append(rec); err != nil {
+			ss.mu.Unlock()
+			return err
+		}
+		if err := ss.apply(rec); err != nil {
+			ss.mu.Unlock()
+			return err
+		}
+		db.repl.tapSess(rec)
+	}
+	if err := db.syncOrCompactSessionsLocked(); err != nil {
+		ss.mu.Unlock()
+		return err
+	}
+	// The backup is itself a tappable primary: its own subscribers (a
+	// chained replica) see the same records and barriers.
+	seq := db.repl.tapBarrier()
+	ss.mu.Unlock()
+	db.repl.waitBarrier(seq)
+	return nil
+}

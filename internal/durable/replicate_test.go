@@ -1,0 +1,357 @@
+package durable_test
+
+// External-package tests for the replication stream (replicate.go): the
+// internal durable tests cannot import internal/simio (simio itself
+// imports durable), so the tests that model backup crashes with the
+// simulated filesystem live here, against the public API only.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"testing"
+	"time"
+
+	"detectable/internal/durable"
+	"detectable/internal/simio"
+)
+
+const (
+	testShards = 2
+	testProcs  = 4
+	testWindow = 8
+)
+
+func openSim(t *testing.T, fsim *simio.Fs) *durable.DB {
+	t.Helper()
+	db, err := durable.OpenFs(fsim, "/data", testShards, testProcs, testWindow)
+	if err != nil {
+		t.Fatalf("OpenFs: %v", err)
+	}
+	return db
+}
+
+// workload drives a representative mix through db: two long-lived
+// sessions committing puts across both shards, an observer-ID burn, and
+// a third session that ends durably.
+func workload(t *testing.T, db *durable.DB) {
+	t.Helper()
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatalf("workload: %v", err)
+		}
+	}
+	must(db.AppendHello(1, 0))
+	must(db.AppendHello(2, 1))
+	reqs := map[uint64]uint64{}
+	commit := func(sid uint64, i int) {
+		shard := i % testShards
+		key := fmt.Sprintf("s%d-k%d", shard, i%3)
+		val := int64(i + 1)
+		db.ShardBacking(shard).Persist(key, val)
+		reqs[sid]++
+		must(db.CommitOutcome(sid, reqs[sid], []byte(fmt.Sprintf("%s=%d", key, val))))
+	}
+	for i := 0; i < 12; i++ {
+		commit(1+uint64(i%2), i)
+	}
+	must(db.NoteSID(100))
+	must(db.AppendHello(3, 2))
+	commit(3, 12)
+	must(db.AppendEnd(3))
+}
+
+// drain collects the stream staged on a closed (or closing) subscription
+// and splits it into messages.
+func drain(t *testing.T, sub *durable.ReplSub) [][]byte {
+	t.Helper()
+	var msgs [][]byte
+	for {
+		chunk, err := sub.Next()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return msgs
+			}
+			t.Fatalf("Next: %v", err)
+		}
+		for len(chunk) > 0 {
+			n := int(binary.BigEndian.Uint32(chunk))
+			msgs = append(msgs, append([]byte(nil), chunk[4:4+n]...))
+			chunk = chunk[4+n:]
+		}
+	}
+}
+
+func applyAll(t *testing.T, rep *durable.Replica, msgs [][]byte) {
+	t.Helper()
+	for i, m := range msgs {
+		if _, _, err := rep.Apply(m); err != nil {
+			t.Fatalf("Apply msg %d (kind 0x%02x): %v", i, m[0], err)
+		}
+	}
+}
+
+// TestReplicationLiveTapConverges streams a workload through a live tap
+// (subscription opened before any record exists) into a backup and pins
+// convergence with StateHash; a second full apply of the same stream must
+// be a no-op (applies are idempotent).
+func TestReplicationLiveTapConverges(t *testing.T) {
+	pdb := openSim(t, simio.New())
+	sub := pdb.Subscribe(0, false)
+	workload(t, pdb)
+	sub.Close()
+	msgs := drain(t, sub)
+	want := pdb.StateHash()
+
+	bfs := simio.New()
+	bdb := openSim(t, bfs)
+	applyAll(t, bdb.NewReplica(), msgs)
+	if got := bdb.StateHash(); got != want {
+		t.Fatalf("backup hash %s, primary %s", got, want)
+	}
+	applyAll(t, bdb.NewReplica(), msgs)
+	if got := bdb.StateHash(); got != want {
+		t.Fatalf("double apply diverged: %s, want %s", got, want)
+	}
+	// The backup's own disk holds the same state: recover it fresh.
+	if err := bdb.Close(); err != nil {
+		t.Fatalf("backup close: %v", err)
+	}
+	bdb2 := openSim(t, bfs)
+	defer bdb2.Close()
+	if got := bdb2.StateHash(); got != want {
+		t.Fatalf("recovered backup hash %s, want %s", got, want)
+	}
+}
+
+// TestReplicationSnapshotResync subscribes after the workload ran, so the
+// whole state arrives as a fuzzy snapshot, and checks the SnapEnd
+// reconciliation: a session the backup still believes live but the
+// snapshot no longer asserts must be ended.
+func TestReplicationSnapshotResync(t *testing.T) {
+	pdb := openSim(t, simio.New())
+	sub1 := pdb.Subscribe(0, false)
+	workload(t, pdb) // ends session 3
+	sub1.Close()
+
+	bdb := openSim(t, simio.New())
+	applyAll(t, bdb.NewReplica(), drain(t, sub1))
+	if got := bdb.StateHash(); got != pdb.StateHash() {
+		t.Fatalf("after live tap: backup %s, primary %s", got, pdb.StateHash())
+	}
+
+	// Primary moves on while the backup is disconnected: session 2 ends,
+	// new writes land.
+	if err := db2More(pdb); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reconnect: snapshot-only stream (no records tapped after Close).
+	sub2 := pdb.Subscribe(0, false)
+	sub2.Close()
+	snap := drain(t, sub2)
+	applyAll(t, bdb.NewReplica(), snap)
+	if got, want := bdb.StateHash(), pdb.StateHash(); got != want {
+		t.Fatalf("after resync: backup %s, primary %s", got, want)
+	}
+	for _, s := range bdb.Sessions() {
+		if s.SID == 2 {
+			t.Fatalf("session 2 still live on the backup after SnapEnd reconciliation")
+		}
+	}
+	// Idempotence of the snapshot itself.
+	applyAll(t, bdb.NewReplica(), snap)
+	if got, want := bdb.StateHash(), pdb.StateHash(); got != want {
+		t.Fatalf("snapshot re-apply diverged: %s, want %s", got, want)
+	}
+}
+
+func db2More(db *durable.DB) error {
+	if err := db.AppendEnd(2); err != nil {
+		return err
+	}
+	db.ShardBacking(0).Persist("post-k", 999)
+	return db.CommitOutcome(1, 50, []byte("post-k=999"))
+}
+
+// TestReplicationKillAtEveryFrame is the stream-interruption sweep: for
+// every prefix of the replication stream, a backup that applied exactly
+// that prefix, crashed (close + recover its own data directory) and then
+// re-synced from a fresh primary snapshot must converge to the primary's
+// StateHash — and applying the resync snapshot twice must change nothing.
+// Cuts inside a frame equal the previous frame boundary by construction
+// (the wire delivers whole frames or nothing), so sweeping frame
+// boundaries covers every byte.
+func TestReplicationKillAtEveryFrame(t *testing.T) {
+	pdb := openSim(t, simio.New())
+	sub := pdb.Subscribe(0, false)
+	workload(t, pdb)
+	sub.Close()
+	msgs := drain(t, sub)
+	want := pdb.StateHash()
+
+	// One resync snapshot reused for every cut: the primary is quiescent,
+	// so each subscription would stage identical state.
+	rsub := pdb.Subscribe(0, false)
+	rsub.Close()
+	resync := drain(t, rsub)
+
+	for cut := 0; cut <= len(msgs); cut++ {
+		bfs := simio.New()
+		bdb := openSim(t, bfs)
+		applyAll(t, bdb.NewReplica(), msgs[:cut])
+		// Crash the backup: recovery must accept whatever prefix its own
+		// logs hold (torn tails truncate, staged-but-unbarriered session
+		// records never reached the medium).
+		if err := bdb.Close(); err != nil {
+			t.Fatalf("cut %d: close: %v", cut, err)
+		}
+		bdb = openSim(t, bfs)
+		applyAll(t, bdb.NewReplica(), resync)
+		if got := bdb.StateHash(); got != want {
+			t.Fatalf("cut %d/%d: resynced hash %s, want %s", cut, len(msgs), got, want)
+		}
+		applyAll(t, bdb.NewReplica(), resync)
+		if got := bdb.StateHash(); got != want {
+			t.Fatalf("cut %d/%d: duplicate resync diverged to %s, want %s", cut, len(msgs), got, want)
+		}
+		bdb.Close()
+	}
+}
+
+// TestSyncAckGatesCommit pins the semi-synchronous contract: with a
+// syncAck subscriber attached, a commit does not return until the barrier
+// is acknowledged; acking (or closing the subscription) releases it.
+func TestSyncAckGatesCommit(t *testing.T) {
+	db := openSim(t, simio.New())
+	defer db.Close()
+	sub := db.Subscribe(0, true)
+	defer sub.Close()
+
+	done := make(chan error, 1)
+	go func() { done <- db.AppendHello(1, 0) }()
+	select {
+	case err := <-done:
+		t.Fatalf("commit returned before the barrier ack (err=%v)", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	sub.Ack(1 << 60) // past any barrier this test issues
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("AppendHello: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("commit still blocked after the ack")
+	}
+
+	// A closed subscription must release waiters too.
+	sub2 := db.Subscribe(0, true)
+	go func() { done <- db.NoteSID(7) }()
+	time.Sleep(20 * time.Millisecond)
+	sub2.Close()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("NoteSID: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("commit still blocked after subscription close")
+	}
+}
+
+// TestSyncAckTimeoutDropsLaggard pins degraded mode: a synchronous
+// subscriber that never acks is dropped after the ack timeout and the
+// commit completes; the hub forgets the laggard.
+func TestSyncAckTimeoutDropsLaggard(t *testing.T) {
+	db := openSim(t, simio.New())
+	defer db.Close()
+	db.SetReplAckTimeout(100 * time.Millisecond)
+	db.Subscribe(0, true) // never acked, never drained
+
+	start := time.Now()
+	if err := db.AppendHello(1, 0); err != nil {
+		t.Fatalf("AppendHello: %v", err)
+	}
+	if e := time.Since(start); e < 80*time.Millisecond {
+		t.Fatalf("commit returned in %v — the ack gate never engaged", e)
+	}
+	if _, _, subs := db.ReplStatus(); subs != 0 {
+		t.Fatalf("laggard still registered: subs=%d", subs)
+	}
+	// Subsequent commits are free again (degraded, not wedged).
+	start = time.Now()
+	if err := db.NoteSID(9); err != nil {
+		t.Fatalf("NoteSID: %v", err)
+	}
+	if e := time.Since(start); e > 50*time.Millisecond {
+		t.Fatalf("post-drop commit took %v, still gated", e)
+	}
+}
+
+// TestGenerationFencing pins the fencing arithmetic: generations only
+// advance, survive reopen, and a replica refuses a stream whose primary
+// announces a generation below its own.
+func TestGenerationFencing(t *testing.T) {
+	fsim := simio.New()
+	db := openSim(t, fsim)
+	if g := db.Generation(); g != 0 {
+		t.Fatalf("fresh generation = %d, want 0", g)
+	}
+	if err := db.SetGeneration(2); err != nil {
+		t.Fatalf("SetGeneration(2): %v", err)
+	}
+	if err := db.SetGeneration(1); err == nil {
+		t.Fatal("SetGeneration(1) after 2 succeeded; fencing rolled back")
+	}
+	if err := db.SetGeneration(2); err != nil {
+		t.Fatalf("SetGeneration(2) re-assert: %v", err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	db = openSim(t, fsim)
+	defer db.Close()
+	if g := db.Generation(); g != 2 {
+		t.Fatalf("generation after reopen = %d, want 2", g)
+	}
+
+	snapBegin := func(gen uint64) []byte {
+		msg := make([]byte, 21)
+		msg[0] = durable.ReplSnapBegin
+		binary.BigEndian.PutUint64(msg[1:], gen)
+		binary.BigEndian.PutUint32(msg[9:], testShards)
+		binary.BigEndian.PutUint32(msg[13:], testProcs)
+		binary.BigEndian.PutUint32(msg[17:], testWindow)
+		return msg
+	}
+	rep := db.NewReplica()
+	if _, _, err := rep.Apply(snapBegin(1)); !errors.Is(err, durable.ErrStalePrimary) {
+		t.Fatalf("stale primary (gen 1 < 2) accepted: err=%v", err)
+	}
+	// A newer primary advances the replica's own fencing generation.
+	if _, _, err := rep.Apply(snapBegin(5)); err != nil {
+		t.Fatalf("newer primary refused: %v", err)
+	}
+	if g := db.Generation(); g != 5 {
+		t.Fatalf("replica generation = %d after gen-5 snapshot, want 5", g)
+	}
+}
+
+// TestReplicaRejectsGeometryMismatch: a snapshot whose shard/proc/window
+// geometry differs from the backup's must be refused before any record
+// applies.
+func TestReplicaRejectsGeometryMismatch(t *testing.T) {
+	db := openSim(t, simio.New())
+	defer db.Close()
+	msg := make([]byte, 21)
+	msg[0] = durable.ReplSnapBegin
+	binary.BigEndian.PutUint32(msg[9:], testShards+1)
+	binary.BigEndian.PutUint32(msg[13:], testProcs)
+	binary.BigEndian.PutUint32(msg[17:], testWindow)
+	if _, _, err := db.NewReplica().Apply(msg); err == nil {
+		t.Fatal("geometry mismatch accepted")
+	}
+}

@@ -25,7 +25,7 @@ type LoopbackSession struct {
 // NewLoopbackSession leases a process slot and returns a loopback session
 // over srv. Callers must Close it.
 func (srv *Server) NewLoopbackSession() (*LoopbackSession, error) {
-	pid, ok := srv.store.AcquireProc()
+	pid, ok := srv.store.Load().AcquireProc()
 	if !ok {
 		return nil, errors.New("server: every process slot is leased")
 	}
@@ -34,9 +34,9 @@ func (srv *Server) NewLoopbackSession() (*LoopbackSession, error) {
 	sid := srv.nextSID
 	srv.mu.Unlock()
 	sess := &session{id: sid, pid: pid, gen: 1, cache: make(map[uint64][]byte, Window+1)}
-	if srv.db != nil {
-		if err := srv.db.AppendHello(sid, pid); err != nil {
-			srv.store.ReleaseProc(pid)
+	if db := srv.db.Load(); db != nil {
+		if err := db.AppendHello(sid, pid); err != nil {
+			srv.store.Load().ReleaseProc(pid)
 			return nil, err
 		}
 	}
@@ -72,7 +72,7 @@ func (ls *LoopbackSession) PID() int { return ls.sess.pid }
 
 // Close releases the session's process slot and scratch buffer.
 func (ls *LoopbackSession) Close() {
-	ls.srv.store.ReleaseProc(ls.sess.pid)
+	ls.srv.store.Load().ReleaseProc(ls.sess.pid)
 	PutFrameBuf(ls.scratch)
 	ls.scratch = nil
 }

@@ -19,10 +19,12 @@ package server
 
 import (
 	"bufio"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"detectable/internal/durable"
@@ -38,28 +40,41 @@ import (
 const DefaultIdleTimeout = 2 * time.Minute
 
 // Server accepts connections and serves sessions over one shardkv.Store.
+//
+// The store and durable DB are atomic pointers because a standby server
+// (NewStandby) starts with neither and gains both at promotion, while
+// connection handlers read them lock-free; on a plain primary they are set
+// once before Listen and never change.
 type Server struct {
-	store *shardkv.Store
-	db    *durable.DB // nil without -data: sessions live and die in memory
+	store atomic.Pointer[shardkv.Store]
+	db    atomic.Pointer[durable.DB] // nil without -data: sessions live and die in memory
 
-	mu       sync.Mutex
-	ln       net.Listener
-	sessions map[uint64]*session
-	nextSID  uint64
-	idleTTL  time.Duration
-	closed   bool
-	stop     chan struct{}
-	wg       sync.WaitGroup
+	standby          atomic.Pointer[standbyState] // non-nil until promotion (replication.go)
+	fenced           atomic.Bool                  // demoted primary: only admin ops served
+	replicas         atomic.Int64                 // attached replication streams
+	recoveredReplays atomic.Uint64                // replays served from a recovered outcome window
+
+	mu          sync.Mutex
+	ln          net.Listener
+	sessions    map[uint64]*session
+	nextSID     uint64
+	idleTTL     time.Duration
+	closed      bool
+	stop        chan struct{}
+	wg          sync.WaitGroup
+	replStreams map[*durable.ReplSub]net.Conn // live replication streams, torn down by Close
+	wasStandby  *standbyState                 // set at promotion; keeps Promote idempotent
 }
 
 // New returns a server over store. Call Listen to start serving.
 func New(store *shardkv.Store) *Server {
-	return &Server{
-		store:    store,
+	srv := &Server{
 		sessions: make(map[uint64]*session),
 		idleTTL:  DefaultIdleTimeout,
 		stop:     make(chan struct{}),
 	}
+	srv.store.Store(store)
+	return srv
 }
 
 // SetIdleTimeout overrides how long detached sessions are retained for
@@ -80,6 +95,21 @@ func (srv *Server) AttachDurable(db *durable.DB) error {
 	if srv.ln != nil || len(srv.sessions) > 0 {
 		return errors.New("server: AttachDurable must run before Listen")
 	}
+	if err := srv.recoverSessionsLocked(db, srv.store.Load()); err != nil {
+		return err
+	}
+	if next := db.NextSID(); next > srv.nextSID {
+		srv.nextSID = next
+	}
+	srv.db.Store(db)
+	return nil
+}
+
+// recoverSessionsLocked rebuilds the session table from db's recovered
+// sessions, leasing each one's process slot back from store. Shared by
+// AttachDurable (process restart) and promotion (the standby's recovered
+// state becomes the serving state). Called with srv.mu held.
+func (srv *Server) recoverSessionsLocked(db *durable.DB, store *shardkv.Store) error {
 	// Two recovered sessions can claim one slot when an END record was
 	// lost (endSession treats END appends as best-effort) and the pid was
 	// re-leased before the crash. The newer session (higher SID — Sessions
@@ -93,7 +123,7 @@ func (srv *Server) AttachDurable(db *durable.DB) error {
 		byPid[ss.PID] = ss
 	}
 	for _, ss := range byPid {
-		if !srv.store.LeaseProc(ss.PID) {
+		if !store.LeaseProc(ss.PID) {
 			return fmt.Errorf("server: recovered session %d holds process slot %d, which is not free", ss.SID, ss.PID)
 		}
 		sess := &session{
@@ -102,21 +132,25 @@ func (srv *Server) AttachDurable(db *durable.DB) error {
 			maxID:        ss.MaxID,
 			recoveredMax: ss.MaxID,
 			cache:        make(map[uint64][]byte, Window+1),
+			recovered:    make(map[uint64]struct{}, len(ss.Window)),
 		}
 		for reqID, reply := range ss.Window {
 			sess.cache[reqID] = append([]byte(nil), reply...)
+			sess.recovered[reqID] = struct{}{}
 		}
 		srv.sessions[ss.SID] = sess
 	}
-	if next := db.NextSID(); next > srv.nextSID {
-		srv.nextSID = next
-	}
-	srv.db = db
 	return nil
 }
 
 // Store returns the served store, for tests and the daemon's final report.
-func (srv *Server) Store() *shardkv.Store { return srv.store }
+// Nil on a standby that has not been promoted.
+func (srv *Server) Store() *shardkv.Store { return srv.store.Load() }
+
+// RecoveredReplays reports how many replies were served by replaying an
+// outcome recovered from the durable window — verdicts that provably
+// survived a process death (restart or failover to this node).
+func (srv *Server) RecoveredReplays() uint64 { return srv.recoveredReplays.Load() }
 
 // Listen binds addr (e.g. "127.0.0.1:0") and starts the accept loop in the
 // background. The bound address is available from Addr.
@@ -174,10 +208,15 @@ func (srv *Server) reapLoop(ttl time.Duration) {
 		srv.mu.Unlock()
 		for _, sess := range expired {
 			if !sess.observer {
-				if srv.db != nil {
-					srv.db.AppendEnd(sess.id) //nolint:errcheck
+				// The durable END is appended after the session left the
+				// table, so a resume that raced past this point was already
+				// refused with unknown-session; replication ships the END on
+				// the same barrier, so a promoted replica refuses it too —
+				// a reaped sid can never come back as a stale session.
+				if db := srv.db.Load(); db != nil {
+					db.AppendEnd(sess.id) //nolint:errcheck
 				}
-				srv.store.ReleaseProc(sess.pid)
+				srv.store.Load().ReleaseProc(sess.pid)
 			}
 		}
 	}
@@ -217,6 +256,10 @@ func (srv *Server) Close() error {
 		sessions = append(sessions, sess)
 		delete(srv.sessions, id)
 	}
+	for sub, conn := range srv.replStreams {
+		sub.Close()
+		conn.Close()
+	}
 	srv.mu.Unlock()
 	for _, sess := range sessions {
 		sess.mu.Lock()
@@ -225,8 +268,11 @@ func (srv *Server) Close() error {
 		}
 		sess.mu.Unlock()
 		if !sess.observer {
-			srv.store.ReleaseProc(sess.pid)
+			srv.store.Load().ReleaseProc(sess.pid)
 		}
+	}
+	if st := srv.standby.Load(); st != nil {
+		st.stopReplication()
 	}
 	srv.wg.Wait()
 	return nil
@@ -288,6 +334,10 @@ func (srv *Server) handleConn(conn net.Conn) {
 		bw.Flush()
 		return
 	}
+	if flags&HelloFlagReplica != 0 {
+		srv.serveReplication(conn, br, bw)
+		return
+	}
 	sess, gen, reply := srv.attach(conn, sid, flags)
 	if err := WriteFrame(bw, reply); err != nil || bw.Flush() != nil || sess == nil {
 		return
@@ -327,12 +377,20 @@ func (srv *Server) attach(conn net.Conn, sid uint64, flags byte) (*session, uint
 	if srv.closed {
 		return nil, 0, encodeErr(ErrBadRequest, "server shutting down")
 	}
+	observer := flags&HelloFlagObserver != 0
+	if !observer && srv.standby.Load() != nil {
+		// A standby serves no data sessions — and critically, a client
+		// resuming the old primary's sid here must hear not-primary (try
+		// the next address), never unknown-session (fatal to the client):
+		// the standby's table does not hold replicated sessions until
+		// promotion, so the lookup below could not tell the two apart.
+		return nil, 0, encodeErr(ErrNotPrimary, "standby: not serving until promoted")
+	}
 
 	if sid == 0 {
 		pid := -1
-		observer := flags&HelloFlagObserver != 0
 		if !observer {
-			p, ok := srv.store.AcquireProc()
+			p, ok := srv.store.Load().AcquireProc()
 			if !ok {
 				return nil, 0, encodeErr(ErrSlotsExhausted, "every process slot is leased")
 			}
@@ -343,7 +401,7 @@ func (srv *Server) attach(conn net.Conn, sid uint64, flags byte) (*session, uint
 			id: srv.nextSID, pid: pid, observer: observer,
 			conn: conn, gen: 1, cache: make(map[uint64][]byte, Window+1),
 		}
-		if srv.db != nil {
+		if db := srv.db.Load(); db != nil {
 			// The session must be durable before the client learns its ID:
 			// a restart may otherwise greet the resume with unknown-session
 			// and strand the client's in-flight request. Observer sessions
@@ -355,13 +413,13 @@ func (srv *Server) attach(conn net.Conn, sid uint64, flags byte) (*session, uint
 			// the ID could durably bind it to two different pids.
 			var err error
 			if observer {
-				err = srv.db.NoteSID(sess.id)
+				err = db.NoteSID(sess.id)
 			} else {
-				err = srv.db.AppendHello(sess.id, pid)
+				err = db.AppendHello(sess.id, pid)
 			}
 			if err != nil {
 				if !observer {
-					srv.store.ReleaseProc(pid)
+					srv.store.Load().ReleaseProc(pid)
 				}
 				return nil, 0, encodeErr(ErrBadRequest, "durable session record failed")
 			}
@@ -405,12 +463,12 @@ func (srv *Server) endSession(sess *session) {
 	delete(srv.sessions, sess.id)
 	srv.mu.Unlock()
 	if live && !sess.observer {
-		if srv.db != nil {
+		if db := srv.db.Load(); db != nil {
 			// Best-effort: a lost END record only means the session is
 			// recovered once more after a restart and reaped by the idle TTL.
-			srv.db.AppendEnd(sess.id) //nolint:errcheck
+			db.AppendEnd(sess.id) //nolint:errcheck
 		}
-		srv.store.ReleaseProc(sess.pid)
+		srv.store.Load().ReleaseProc(sess.pid)
 	}
 }
 
@@ -430,11 +488,36 @@ func (srv *Server) handle(sess *session, payload []byte, scratch *[]byte) (reply
 	if r.Err || reqID == 0 {
 		return appendErr((*scratch)[:0], ErrBadRequest, "malformed request header"), false, true
 	}
+	if op == OpPromote {
+		// Promotion is an admin op outside the session's outcome window: it
+		// is idempotent by construction (replication.go), so a re-issued ID
+		// simply re-executes, and it must not run under sess.mu — promotion
+		// takes srv.mu, which attach acquires before session locks.
+		if r.Rest() != 0 {
+			return appendErr((*scratch)[:0], ErrBadRequest, "malformed PROMOTE"), false, true
+		}
+		gen, err := srv.Promote()
+		if err != nil {
+			return appendErr((*scratch)[:0], ErrBadRequest, "promotion failed: "+err.Error()), false, false
+		}
+		reply = append((*scratch)[:0], StatusOK)
+		reply = binary.BigEndian.AppendUint64(reply, gen)
+		if cap(reply) > cap(*scratch) {
+			*scratch = reply
+		}
+		return reply, false, false
+	}
 
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
 
 	if cached, class := sess.classify(reqID); class == idReplay {
+		if _, ok := sess.recovered[reqID]; ok {
+			// This verdict crossed a process boundary: recovered from the
+			// durable window (restart, or a promoted replica's shipped
+			// state) and now served to its original requester.
+			srv.recoveredReplays.Add(1)
+		}
 		// Copy into the connection scratch: the write to the socket happens
 		// after the session lock is released, and a racing replacement
 		// connection may recycle the window entry in the meantime.
@@ -452,7 +535,7 @@ func (srv *Server) handle(sess *session, payload []byte, scratch *[]byte) (reply
 		*scratch = reply // keep the grown buffer for the next frame
 	}
 	if !fatal && len(reply) > 0 && reply[0] == StatusOK && !closing {
-		if srv.db != nil && !sess.observer && mutates(op) {
+		if db := srv.db.Load(); db != nil && !sess.observer && mutates(op) {
 			// The durability barrier before release: the shard logs holding
 			// this request's linearized mutations are synced, then the
 			// outcome record — in that order, so a replayed verdict can
@@ -461,7 +544,7 @@ func (srv *Server) handle(sess *session, payload []byte, scratch *[]byte) (reply
 			// never-delivered read simply re-executes fresh after a
 			// restart, and the in-memory window still covers
 			// connection-level resume — so reads cost no fsync.
-			if err := srv.db.CommitOutcome(sess.id, reqID, reply); err != nil {
+			if err := db.CommitOutcome(sess.id, reqID, reply); err != nil {
 				return appendErr((*scratch)[:0], ErrBadRequest, "durable outcome commit failed"), false, true
 			}
 		}
@@ -482,6 +565,27 @@ func (srv *Server) execute(sess *session, op byte, r *Reader, dst []byte) (reply
 	bad := func(msg string) ([]byte, bool, bool) { return appendErr(dst, ErrBadRequest, msg), false, true }
 	data := func() bool { return !sess.observer } // data ops need a process slot
 
+	if op == OpServerStats {
+		// Node status is served everywhere — primaries, standbys, fenced
+		// ex-primaries — from atomics only (no srv.mu: attach holds srv.mu
+		// before session locks, and execute runs under a session lock).
+		if r.Err || r.Rest() != 0 {
+			return bad("malformed SERVER-STATS")
+		}
+		return srv.appendServerStatsReply(dst), false, false
+	}
+	if srv.fenced.Load() && op != OpClose {
+		// A fenced ex-primary serves no data: every verdict now belongs to
+		// the promoted replica. The client redials its other addresses.
+		return appendErr(dst, ErrNotPrimary, "fenced: this node was demoted"), false, false
+	}
+	store := srv.store.Load()
+	if store == nil && op != OpClose {
+		// A standby has no store until promotion installs one: observer
+		// sessions may only poll SERVER-STATS, PROMOTE and CLOSE here.
+		return appendErr(dst, ErrNotPrimary, "standby: not serving until promoted"), false, false
+	}
+
 	switch op {
 	case OpGet, OpDel:
 		plan := r.U32()
@@ -494,9 +598,9 @@ func (srv *Server) execute(sess *session, op byte, r *Reader, dst []byte) (reply
 		}
 		var out runtime.Outcome[int]
 		if op == OpGet {
-			out = srv.store.Get(sess.pid, key, planOf(plan)...)
+			out = store.Get(sess.pid, key, planOf(plan)...)
 		} else {
-			out = srv.store.Del(sess.pid, key, planOf(plan)...)
+			out = store.Del(sess.pid, key, planOf(plan)...)
 		}
 		return appendOutcomeReply(dst, out), false, false
 
@@ -510,7 +614,7 @@ func (srv *Server) execute(sess *session, op byte, r *Reader, dst []byte) (reply
 		if !data() {
 			return appendErr(dst, ErrObserver, "data operation on observer session"), false, false
 		}
-		return appendOutcomeReply(dst, srv.store.Put(sess.pid, key, val, planOf(plan)...)), false, false
+		return appendOutcomeReply(dst, store.Put(sess.pid, key, val, planOf(plan)...)), false, false
 
 	case OpMGet:
 		n := int(r.U16())
@@ -528,7 +632,7 @@ func (srv *Server) execute(sess *session, op byte, r *Reader, dst []byte) (reply
 		if !data() {
 			return appendErr(dst, ErrObserver, "data operation on observer session"), false, false
 		}
-		return appendOutcomesReply(dst, srv.store.MultiGetWith(&sess.batch, sess.pid, keys)), false, false
+		return appendOutcomesReply(dst, store.MultiGetWith(&sess.batch, sess.pid, keys)), false, false
 
 	case OpMPut:
 		n := int(r.U16())
@@ -546,7 +650,7 @@ func (srv *Server) execute(sess *session, op byte, r *Reader, dst []byte) (reply
 		if !data() {
 			return appendErr(dst, ErrObserver, "data operation on observer session"), false, false
 		}
-		return appendOutcomesReply(dst, srv.store.MultiPutWith(&sess.batch, sess.pid, entries)), false, false
+		return appendOutcomesReply(dst, store.MultiPutWith(&sess.batch, sess.pid, entries)), false, false
 
 	case OpCrash:
 		shard := r.U32()
@@ -554,9 +658,9 @@ func (srv *Server) execute(sess *session, op byte, r *Reader, dst []byte) (reply
 			return bad("malformed CRASH")
 		}
 		if shard == CrashAllShards {
-			srv.store.Crash()
-		} else if int(shard) < srv.store.NumShards() {
-			srv.store.CrashShard(int(shard))
+			store.Crash()
+		} else if int(shard) < store.NumShards() {
+			store.CrashShard(int(shard))
 		} else {
 			return appendErr(dst, ErrBadRequest, "shard out of range"), false, false
 		}
@@ -566,7 +670,7 @@ func (srv *Server) execute(sess *session, op byte, r *Reader, dst []byte) (reply
 		if r.Err || r.Rest() != 0 {
 			return bad("malformed STATS")
 		}
-		return appendStatsReply(dst, srv.store.Snapshots()), false, false
+		return appendStatsReply(dst, store.Snapshots()), false, false
 
 	case OpClose:
 		if r.Err || r.Rest() != 0 {

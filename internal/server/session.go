@@ -30,6 +30,12 @@ type session struct {
 	maxID      uint64            // highest request ID ever executed
 	cache      map[uint64][]byte // reqID → encoded reply, the persisted-outcome window
 	free       [][]byte          // evicted window entries, recycled by record
+	// recovered marks the request IDs whose window entries were loaded
+	// from the durable DB rather than recorded live — the entries whose
+	// replay proves a verdict crossed a process boundary. record deletes
+	// an ID the session re-records live; nil for sessions born in this
+	// process.
+	recovered map[uint64]struct{}
 	// recoveredMax is the durable outcome high-water this session was
 	// restored with after a whole-process restart (0 for sessions born in
 	// this process). In-window IDs at or below it that have no cache entry
@@ -85,6 +91,7 @@ func (s *session) classify(reqID uint64) (reply []byte, class idClass) {
 // called with s.mu held; reply may alias a caller-owned scratch buffer.
 func (s *session) record(reqID uint64, reply []byte) {
 	s.cache[reqID] = append(s.take(len(reply)), reply...)
+	delete(s.recovered, reqID) // re-recorded live: no longer a recovered verdict
 	if reqID > s.maxID {
 		s.maxID = reqID // a resumed pre-crash read may record out of order
 	}

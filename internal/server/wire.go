@@ -37,6 +37,14 @@ const (
 	OpCrash byte = 0x07 // inject a shard crash (chaos/testing surface)
 	OpStats byte = 0x08
 	OpClose byte = 0x09 // end the session, releasing its process slot
+
+	// OpPromote promotes a standby to primary (or fences an active
+	// primary); reply is StatusOK + u64 generation. OpServerStats reports
+	// the node's role, generation and replication marks. Both are admin
+	// ops: allowed on observer sessions, on standbys and on fenced
+	// primaries (see replication.go).
+	OpPromote     byte = 0x0A
+	OpServerStats byte = 0x0B
 )
 
 // Reply status codes. StatusOK prefixes a successful reply body; every
@@ -48,12 +56,20 @@ const (
 	ErrStaleRequest   byte = 0x03 // reqID older than the session's outcome window
 	ErrSlotsExhausted byte = 0x04 // every process slot is leased
 	ErrObserver       byte = 0x05 // data operation on an observer session
+	ErrNotPrimary     byte = 0x06 // node is a standby or a fenced ex-primary; redial another address
 )
 
 // HelloFlagObserver requests a session without a process slot: it may only
-// issue CRASH/STATS/CLOSE. Storm drivers and stats pollers use it so they
-// do not occupy one of the store's N process identities.
+// issue CRASH/STATS/CLOSE/PROMOTE/SERVER-STATS. Storm drivers and stats
+// pollers use it so they do not occupy one of the store's N process
+// identities.
 const HelloFlagObserver byte = 0x01
+
+// HelloFlagReplica turns the connection into a replication stream: the
+// server replies with a HELLO-OK and then streams durable.Repl* messages
+// (docs/REPLICATION.md) instead of serving requests; the peer sends only
+// durable.ReplAck frames back.
+const HelloFlagReplica byte = 0x02
 
 // CrashAllShards as the shard field of OpCrash storms every shard.
 const CrashAllShards = ^uint32(0)
@@ -288,6 +304,24 @@ func AppendClose(dst []byte, reqID uint64) []byte {
 // EncodeClose encodes a session-close request.
 func EncodeClose(reqID uint64) []byte { return AppendClose(nil, reqID) }
 
+// AppendPromote appends a promotion request.
+func AppendPromote(dst []byte, reqID uint64) []byte {
+	dst = append(dst, OpPromote)
+	return binary.BigEndian.AppendUint64(dst, reqID)
+}
+
+// EncodePromote encodes a promotion request.
+func EncodePromote(reqID uint64) []byte { return AppendPromote(nil, reqID) }
+
+// AppendServerStats appends a node-status request.
+func AppendServerStats(dst []byte, reqID uint64) []byte {
+	dst = append(dst, OpServerStats)
+	return binary.BigEndian.AppendUint64(dst, reqID)
+}
+
+// EncodeServerStats encodes a node-status request.
+func EncodeServerStats(reqID uint64) []byte { return AppendServerStats(nil, reqID) }
+
 // appendErr appends an error reply.
 func appendErr(dst []byte, code byte, msg string) []byte {
 	dst = append(dst, code)
@@ -475,6 +509,8 @@ func ErrName(code byte) string {
 		return "slots-exhausted"
 	case ErrObserver:
 		return "observer-session"
+	case ErrNotPrimary:
+		return "not-primary"
 	default:
 		return fmt.Sprintf("error-0x%02x", code)
 	}

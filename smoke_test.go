@@ -91,3 +91,31 @@ func TestRestartStormSmoke(t *testing.T) {
 		})
 	}
 }
+
+// TestFailoverStormSmoke runs a short primary/backup failover cycle:
+// loadgen -failover-storm SIGKILLs the primary mid-workload, promotes the
+// warm standby and requires zero detectability violations plus at least
+// one verdict served from the promoted replica's recovered outcome
+// window. The CI wire-smoke job runs the full-length version; this pins
+// the mode into the ordinary test gate.
+func TestFailoverStormSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns server processes; skipped in -short mode")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "kvserverd")
+	if out, err := exec.Command("go", "build", "-o", bin, "./cmd/kvserverd").CombinedOutput(); err != nil {
+		t.Fatalf("build kvserverd: %v\n%s", err, out)
+	}
+	out, err := exec.Command("go", "run", "./cmd/loadgen",
+		"-failover-storm", "-server-bin", bin, "-data", filepath.Join(dir, "nodes"),
+		"-mix", "crash-storm", "-procs", "2", "-shards", "2", "-keys", "8",
+		"-dur", "2s", "-failovers", "2", "-failover-every", "500ms",
+		"-server-args", "-epoch-interval 2ms").CombinedOutput()
+	if err != nil {
+		t.Fatalf("failover-storm failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "zero violations") {
+		t.Fatalf("failover-storm did not report zero violations:\n%s", out)
+	}
+}
