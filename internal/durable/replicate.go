@@ -20,7 +20,11 @@ package durable
 // idempotent, so applying the snapshot over any backup prefix converges;
 // SnapEnd doubles as the reconciliation point for sessions the backup saw
 // end while it was disconnected (snapshots can only assert liveness, never
-// deletion).
+// deletion). Snapshot bytes are exempt from the subscriber's backlog
+// limit (bootstrap must work for states larger than the limit), and a
+// syncAck subscription starts gating commits only once its SnapEnd is
+// acked — until then the bootstrapping replica neither delays verdicts
+// nor counts as a laggard.
 //
 // The apply side (Replica) keeps the backup's own disk crash-consistent:
 // shard puts are journaled eagerly (early effects are harmless — the
@@ -68,9 +72,11 @@ const (
 	ReplAck byte = 0x06
 )
 
-// DefaultReplSubLimit bounds a subscriber's pending buffer; a backup that
-// falls further behind than this is dropped rather than stalling the
-// primary's memory.
+// DefaultReplSubLimit bounds a subscriber's pending live-tap backlog; a
+// backup that falls further behind than this is dropped rather than
+// stalling the primary's memory. Bytes staged by the initial fuzzy
+// snapshot are exempt — the snapshot is as large as the state and must
+// always fit, or replication could never bootstrap past the limit.
 const DefaultReplSubLimit = 64 << 20
 
 // DefaultReplAckTimeout bounds how long a commit waits for a synchronous
@@ -88,7 +94,7 @@ var errReplSubClosed = errors.New("durable: replication subscription closed")
 // replState is the primary-side replication hub embedded in DB.
 type replState struct {
 	nsubs      atomic.Int32  // registered subscribers (fast-path gate for taps)
-	nsync      atomic.Int32  // subscribers whose acks gate verdict release
+	nsync      atomic.Int32  // gating subscribers: sync subs whose snapshot barrier is acked
 	seq        atomic.Uint64 // barrier sequence; bumped only under sessions.mu
 	ackTimeout atomic.Int64  // nanoseconds; 0 = DefaultReplAckTimeout
 
@@ -104,21 +110,29 @@ type ReplSub struct {
 	syncAck bool
 	limit   int
 
-	mu     sync.Mutex
-	cond   *sync.Cond
-	buf    []byte // pending framed messages
-	spare  []byte // the buffer Next handed out last time, recycled
-	acked  uint64
-	closed bool
-	err    error
+	mu        sync.Mutex
+	cond      *sync.Cond
+	buf       []byte // pending framed messages
+	spare     []byte // the buffer Next handed out last time, recycled
+	snapBytes int    // bytes of buf staged by the snapshot, exempt from limit
+	snapSeq   uint64 // barrier sequence of this sub's SnapEnd (0 until staged)
+	gating    bool   // syncAck sub whose snapshot barrier is acked; counted in nsync
+	acked     uint64
+	closed    bool
+	err       error
 }
 
 // Subscribe registers a replication subscriber and stages a fuzzy snapshot
 // of the current state followed by the live record tap. limit bounds the
-// pending buffer (≤ 0 means DefaultReplSubLimit). With syncAck, commits on
-// this DB wait for the subscriber's barrier acks before releasing
-// verdicts — the semi-synchronous mode the server uses; without it the
-// subscription is a passive tap (tests, tooling).
+// pending live-tap backlog (≤ 0 means DefaultReplSubLimit); snapshot bytes
+// are exempt, so a state larger than the limit can still bootstrap — the
+// snapshot occupies memory only until the serving goroutine drains it.
+// With syncAck, commits on this DB wait for the subscriber's barrier acks
+// before releasing verdicts — the semi-synchronous mode the server uses —
+// but only once the subscriber has acknowledged its snapshot barrier
+// (SnapEnd): a replica still transferring or fsyncing its initial snapshot
+// neither delays commits nor gets dropped as a laggard. Without syncAck
+// the subscription is a passive tap (tests, tooling).
 func (db *DB) Subscribe(limit int, syncAck bool) *ReplSub {
 	if limit <= 0 {
 		limit = DefaultReplSubLimit
@@ -133,9 +147,6 @@ func (db *DB) Subscribe(limit int, syncAck bool) *ReplSub {
 	}
 	r.subs[sub] = struct{}{}
 	r.nsubs.Add(1)
-	if syncAck {
-		r.nsync.Add(1)
-	}
 	// The snapshot header is staged inside the registration lock so no
 	// concurrent tap can slot a record ahead of it.
 	var hdr [21]byte
@@ -144,7 +155,7 @@ func (db *DB) Subscribe(limit int, syncAck bool) *ReplSub {
 	binary.BigEndian.PutUint32(hdr[9:], uint32(len(db.shards)))
 	binary.BigEndian.PutUint32(hdr[13:], uint32(db.procs))
 	binary.BigEndian.PutUint32(hdr[17:], uint32(db.sessions.window))
-	sub.stageMsg(hdr[:], nil)
+	sub.stageSnap(hdr[:], nil)
 	r.mu.Unlock()
 
 	// Fuzzy snapshot: shard mirrors first, sessions after, matching the
@@ -164,16 +175,22 @@ func (db *DB) Subscribe(limit int, syncAck bool) *ReplSub {
 		sort.Strings(keys)
 		for _, k := range keys {
 			enc = encodePut(enc[:0], k, sf.state[k])
-			sub.stageMsg(shdr[:], enc)
+			if !sub.stageSnap(shdr[:], enc) {
+				sf.mu.Unlock()
+				return sub // closed mid-snapshot; stop staging
+			}
 		}
 		sf.mu.Unlock()
 	}
 	ss := &db.sessions
 	kindSess := [1]byte{ReplSessRec}
 	ss.mu.Lock()
+	defer ss.mu.Unlock()
 	enc = append(enc[:0], recNextSID)
 	enc = binary.BigEndian.AppendUint64(enc, ss.nextSID)
-	sub.stageMsg(kindSess[:], enc)
+	if !sub.stageSnap(kindSess[:], enc) {
+		return sub
+	}
 	sids := make([]uint64, 0, len(ss.state))
 	for sid := range ss.state {
 		sids = append(sids, sid)
@@ -184,7 +201,9 @@ func (db *DB) Subscribe(limit int, syncAck bool) *ReplSub {
 		enc = append(enc[:0], recHello)
 		enc = binary.BigEndian.AppendUint64(enc, s.SID)
 		enc = binary.BigEndian.AppendUint64(enc, uint64(int64(s.PID)))
-		sub.stageMsg(kindSess[:], enc)
+		if !sub.stageSnap(kindSess[:], enc) {
+			return sub
+		}
 		reqs := make([]uint64, 0, len(s.Window))
 		for id := range s.Window {
 			reqs = append(reqs, id)
@@ -192,18 +211,24 @@ func (db *DB) Subscribe(limit int, syncAck bool) *ReplSub {
 		sort.Slice(reqs, func(i, j int) bool { return reqs[i] < reqs[j] })
 		for _, id := range reqs {
 			enc = appendOutcomeRec(enc[:0], s.SID, id, s.Window[id])
-			sub.stageMsg(kindSess[:], enc)
+			if !sub.stageSnap(kindSess[:], enc) {
+				return sub
+			}
 		}
 	}
 	// The snapshot close is a barrier in its own right; its sequence is
 	// allocated under ss.mu like every other barrier, so barrier order on
-	// the stream matches sequence order.
+	// the stream matches sequence order. Its sequence is also the sub's
+	// gating threshold: acking it is what turns a syncAck subscription
+	// into a commit gate (Ack).
 	seq := r.seq.Add(1)
 	var ehdr [9]byte
 	ehdr[0] = ReplSnapEnd
 	binary.BigEndian.PutUint64(ehdr[1:], seq)
-	sub.stageMsg(ehdr[:], nil)
-	ss.mu.Unlock()
+	sub.mu.Lock()
+	sub.snapSeq = seq
+	sub.mu.Unlock()
+	sub.stageSnap(ehdr[:], nil)
 	return sub
 }
 
@@ -295,7 +320,7 @@ func (r *replState) dropLocked(sub *ReplSub) {
 	}
 	delete(r.subs, sub)
 	r.nsubs.Add(-1)
-	if sub.syncAck {
+	if sub.syncAck && sub.disengage() {
 		r.nsync.Add(-1)
 	}
 }
@@ -306,9 +331,13 @@ func (r *replState) unregister(sub *ReplSub) {
 	r.mu.Unlock()
 }
 
-// waitBarrier blocks until every synchronous subscriber has acknowledged
-// barrier seq, the ack timeout passes (the laggard is dropped), or the
-// subscriber closes. Called with no DB locks held — commit paths release
+// waitBarrier blocks until every gating subscriber — a synchronous one
+// whose snapshot barrier has been acked — has acknowledged barrier seq,
+// the ack timeout passes (the laggard is dropped), or the subscriber
+// closes. A sync subscriber still transferring or applying its initial
+// snapshot is not waited on: its first ack may legitimately take longer
+// than the ack timeout, and dropping it for that would re-bootstrap large
+// replicas forever. Called with no DB locks held — commit paths release
 // sessions.mu first, so the backup's ack path can never deadlock against
 // the primary's commit path.
 func (r *replState) waitBarrier(seq uint64) {
@@ -318,7 +347,7 @@ func (r *replState) waitBarrier(seq uint64) {
 	r.mu.Lock()
 	var waits []*ReplSub
 	for sub := range r.subs {
-		if sub.syncAck {
+		if sub.syncAck && sub.isGating() {
 			waits = append(waits, sub)
 		}
 	}
@@ -340,7 +369,11 @@ func (r *replState) waitBarrier(seq uint64) {
 // ---- subscriber ----
 
 // stageMsg appends one framed message (hdr ++ rec) to the pending buffer.
-// Returns false if the subscription is closed or just overflowed.
+// Returns false if the subscription is closed or just overflowed. The
+// limit applies to the live-tap backlog only: bytes still buffered from
+// the snapshot (snapBytes) are not the subscriber's fault for lagging and
+// are excluded, or any tap during a larger-than-limit snapshot transfer
+// would tear the subscription down.
 func (s *ReplSub) stageMsg(hdr, rec []byte) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -348,15 +381,37 @@ func (s *ReplSub) stageMsg(hdr, rec []byte) bool {
 		return false
 	}
 	n := len(hdr) + len(rec)
-	if len(s.buf)+4+n > s.limit {
-		s.closeLocked(fmt.Errorf("durable: replication subscriber fell %d bytes behind (limit %d)", len(s.buf), s.limit))
+	if backlog := len(s.buf) - s.snapBytes; backlog+4+n > s.limit {
+		s.closeLocked(fmt.Errorf("durable: replication subscriber fell %d bytes behind (limit %d)", backlog, s.limit))
 		return false
 	}
-	s.buf = binary.BigEndian.AppendUint32(s.buf, uint32(n))
+	s.stageLocked(hdr, rec)
+	return true
+}
+
+// stageSnap appends one framed snapshot message, exempt from the backlog
+// limit — the snapshot is as large as the state, and closing the
+// subscription over it would make bootstrap impossible for any state
+// larger than the limit (the replica would resync into the same overflow
+// forever). Returns false if the subscription is closed.
+func (s *ReplSub) stageSnap(hdr, rec []byte) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.snapBytes += 4 + len(hdr) + len(rec)
+	s.stageLocked(hdr, rec)
+	return true
+}
+
+// stageLocked frames hdr ++ rec into the pending buffer. Called with s.mu
+// held.
+func (s *ReplSub) stageLocked(hdr, rec []byte) {
+	s.buf = binary.BigEndian.AppendUint32(s.buf, uint32(len(hdr)+len(rec)))
 	s.buf = append(s.buf, hdr...)
 	s.buf = append(s.buf, rec...)
 	s.cond.Broadcast()
-	return true
 }
 
 // Next blocks until pending stream bytes are available and returns them
@@ -379,18 +434,56 @@ func (s *ReplSub) Next() ([]byte, error) {
 	out := s.buf
 	s.buf = s.spare[:0]
 	s.spare = out
+	s.snapBytes = 0 // the whole buffer drained, snapshot bytes included
 	return out, nil
 }
 
 // Ack raises the subscriber's acknowledged barrier sequence, releasing any
-// commit waiting on it.
+// commit waiting on it. The ack that first covers the subscription's
+// snapshot barrier (SnapEnd) also engages commit gating: from then on —
+// and only then — a syncAck subscription counts toward nsync, so a
+// replica still bootstrapping never stalls (or gets dropped by) the
+// primary's commits.
 func (s *ReplSub) Ack(seq uint64) {
 	s.mu.Lock()
 	if seq > s.acked {
 		s.acked = seq
 		s.cond.Broadcast()
 	}
+	if s.syncAck && !s.gating && !s.closed && s.snapSeq != 0 && s.acked >= s.snapSeq {
+		// closeLocked always precedes unregistration, so engaging here
+		// (under s.mu, on a live sub) pairs exactly once with the
+		// disengage in dropLocked.
+		s.gating = true
+		s.r.nsync.Add(1)
+	}
 	s.mu.Unlock()
+}
+
+// SnapSeq returns the barrier sequence of the subscription's snapshot
+// close (SnapEnd) — the ack that engages commit gating — or 0 if the
+// snapshot was never fully staged.
+func (s *ReplSub) SnapSeq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.snapSeq
+}
+
+// isGating reports whether this subscription currently gates commits.
+func (s *ReplSub) isGating() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.gating
+}
+
+// disengage clears gating, returning whether it was engaged. Called from
+// dropLocked (r.mu held; r.mu → s.mu is the tap path's lock order).
+func (s *ReplSub) disengage() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	g := s.gating
+	s.gating = false
+	return g
 }
 
 func (s *ReplSub) ackedSeq() uint64 {
@@ -502,9 +595,11 @@ func (db *DB) SetGeneration(gen uint64) error {
 
 // Replica applies a replication stream to a warm-standby DB. Shard records
 // are journaled to the backup's own logs as they arrive; session records
-// are staged in memory and appended+fsynced only when a barrier arrives,
-// preserving outcome-implies-effect on the backup's disk. Not safe for
-// concurrent use; feed it one stream.
+// are staged in memory and appended+fsynced only when a barrier arrives —
+// and, during a snapshot, only at SnapEnd, so an outcome can never be
+// anchored (or acked) before the snapshot hello that makes it
+// recoverable — preserving outcome-implies-effect on the backup's disk.
+// Not safe for concurrent use; feed it one stream.
 type Replica struct {
 	db       *DB
 	staged   []byte // u32-length-prefixed session records awaiting a barrier
@@ -607,6 +702,17 @@ func (rp *Replica) Apply(msg []byte) (seq uint64, barrier bool, err error) {
 	case ReplBarrier:
 		if len(body) != 8 {
 			return 0, false, fmt.Errorf("durable: malformed barrier")
+		}
+		if rp.inSnap {
+			// A barrier that interleaves with the snapshot must not anchor
+			// (or ack) yet: the records staged so far may reference sids
+			// whose snapshot hellos are still in flight, so appending them
+			// now would write outcomes the recovery path silently drops —
+			// a crash-then-promote would lose a verdict the primary
+			// released as durable on both nodes. Everything stays staged
+			// and is applied (and first acked) at SnapEnd, when the
+			// snapshot's hellos are guaranteed to be in the stage too.
+			return 0, false, nil
 		}
 		if err := rp.db.applyReplBarrier(rp.staged); err != nil {
 			return 0, false, err

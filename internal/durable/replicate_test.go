@@ -221,14 +221,16 @@ func TestReplicationKillAtEveryFrame(t *testing.T) {
 	}
 }
 
-// TestSyncAckGatesCommit pins the semi-synchronous contract: with a
-// syncAck subscriber attached, a commit does not return until the barrier
-// is acknowledged; acking (or closing the subscription) releases it.
+// TestSyncAckGatesCommit pins the semi-synchronous contract: once a
+// syncAck subscriber has acknowledged its snapshot barrier, a commit does
+// not return until the commit's barrier is acknowledged; acking (or
+// closing the subscription) releases it.
 func TestSyncAckGatesCommit(t *testing.T) {
 	db := openSim(t, simio.New())
 	defer db.Close()
 	sub := db.Subscribe(0, true)
 	defer sub.Close()
+	sub.Ack(sub.SnapSeq()) // bootstrap complete: the sub gates from here on
 
 	done := make(chan error, 1)
 	go func() { done <- db.AppendHello(1, 0) }()
@@ -249,6 +251,7 @@ func TestSyncAckGatesCommit(t *testing.T) {
 
 	// A closed subscription must release waiters too.
 	sub2 := db.Subscribe(0, true)
+	sub2.Ack(sub2.SnapSeq())
 	go func() { done <- db.NoteSID(7) }()
 	time.Sleep(20 * time.Millisecond)
 	sub2.Close()
@@ -263,13 +266,15 @@ func TestSyncAckGatesCommit(t *testing.T) {
 }
 
 // TestSyncAckTimeoutDropsLaggard pins degraded mode: a synchronous
-// subscriber that never acks is dropped after the ack timeout and the
-// commit completes; the hub forgets the laggard.
+// subscriber that went silent after completing its bootstrap is dropped
+// after the ack timeout and the commit completes; the hub forgets the
+// laggard.
 func TestSyncAckTimeoutDropsLaggard(t *testing.T) {
 	db := openSim(t, simio.New())
 	defer db.Close()
 	db.SetReplAckTimeout(100 * time.Millisecond)
-	db.Subscribe(0, true) // never acked, never drained
+	sub := db.Subscribe(0, true)
+	sub.Ack(sub.SnapSeq()) // bootstrapped, then never acks again
 
 	start := time.Now()
 	if err := db.AppendHello(1, 0); err != nil {
@@ -289,6 +294,192 @@ func TestSyncAckTimeoutDropsLaggard(t *testing.T) {
 	if e := time.Since(start); e > 50*time.Millisecond {
 		t.Fatalf("post-drop commit took %v, still gated", e)
 	}
+}
+
+// TestBootstrappingSubscriberDoesNotGate pins the gating threshold: a
+// syncAck subscriber that has not yet acknowledged its snapshot barrier
+// neither delays commits nor gets dropped as a laggard — a replica whose
+// initial snapshot transfer outlives the ack timeout must stay attached
+// and become the commit gate only once its SnapEnd ack arrives.
+func TestBootstrappingSubscriberDoesNotGate(t *testing.T) {
+	db := openSim(t, simio.New())
+	defer db.Close()
+	db.SetReplAckTimeout(100 * time.Millisecond)
+	sub := db.Subscribe(0, true) // snapshot staged, nothing acked yet
+	defer sub.Close()
+
+	start := time.Now()
+	if err := db.AppendHello(1, 0); err != nil {
+		t.Fatalf("AppendHello: %v", err)
+	}
+	if e := time.Since(start); e > 50*time.Millisecond {
+		t.Fatalf("commit took %v while the subscriber was still bootstrapping", e)
+	}
+	if _, _, subs := db.ReplStatus(); subs != 1 {
+		t.Fatalf("bootstrapping subscriber was dropped: subs=%d", subs)
+	}
+
+	// Acking the snapshot barrier engages the gate: the next commit blocks
+	// until its own barrier is acked.
+	sub.Ack(sub.SnapSeq())
+	done := make(chan error, 1)
+	go func() { done <- db.NoteSID(50) }()
+	select {
+	case err := <-done:
+		t.Fatalf("commit returned before the barrier ack (err=%v)", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	sub.Ack(1 << 60)
+	if err := <-done; err != nil {
+		t.Fatalf("NoteSID: %v", err)
+	}
+}
+
+// TestSnapshotLargerThanSubLimit pins bootstrap for states bigger than
+// the subscriber's backlog limit: the snapshot must stage in full (exempt
+// from the limit) and replicate a converged backup, where before the
+// exemption the subscription tore itself down mid-snapshot and every
+// resync died the same way.
+func TestSnapshotLargerThanSubLimit(t *testing.T) {
+	pdb := openSim(t, simio.New())
+	defer pdb.Close()
+	if err := pdb.AppendHello(1, 0); err != nil {
+		t.Fatalf("AppendHello: %v", err)
+	}
+	reply := make([]byte, 256)
+	for i := 0; i < 64; i++ {
+		pdb.ShardBacking(i % testShards).Persist(fmt.Sprintf("key-%04d", i), int64(i))
+		if err := pdb.CommitOutcome(1, uint64(i+1), reply); err != nil {
+			t.Fatalf("CommitOutcome: %v", err)
+		}
+	}
+
+	const limit = 1 << 10 // far below the staged snapshot's size
+	sub := pdb.Subscribe(limit, false)
+	sub.Close()
+	msgs := drain(t, sub)
+	var snapEnds int
+	for _, m := range msgs {
+		if m[0] == durable.ReplSnapEnd {
+			snapEnds++
+		}
+	}
+	if snapEnds != 1 {
+		t.Fatalf("snapshot did not stage to completion: %d SnapEnd messages in %d", snapEnds, len(msgs))
+	}
+
+	bdb := openSim(t, simio.New())
+	defer bdb.Close()
+	applyAll(t, bdb.NewReplica(), msgs)
+	if got, want := bdb.StateHash(), pdb.StateHash(); got != want {
+		t.Fatalf("backup hash %s, primary %s", got, want)
+	}
+}
+
+// Sessions-log record kinds as they ride inside ReplSessRec messages —
+// a stable on-disk format (docs/DURABILITY.md), mirrored here to craft
+// streams whose interleaving a live primary cannot be forced to produce.
+const (
+	sessRecHello   = 0x02
+	sessRecOutcome = 0x03
+)
+
+// TestInSnapshotBarrierDeferred pins the snapshot/barrier interleaving
+// rule: a barrier that arrives mid-snapshot must neither anchor the staged
+// records nor be acked — the staged outcomes may precede their snapshot
+// hellos, and anchoring them hello-less writes records recovery silently
+// drops, so a crash-then-promote would lose a verdict the primary believed
+// durable on both nodes. Everything defers to SnapEnd.
+func TestInSnapshotBarrierDeferred(t *testing.T) {
+	snapBegin := func(gen uint64) []byte {
+		msg := make([]byte, 21)
+		msg[0] = durable.ReplSnapBegin
+		binary.BigEndian.PutUint64(msg[1:], gen)
+		binary.BigEndian.PutUint32(msg[9:], testShards)
+		binary.BigEndian.PutUint32(msg[13:], testProcs)
+		binary.BigEndian.PutUint32(msg[17:], testWindow)
+		return msg
+	}
+	barrier := func(kind byte, seq uint64) []byte {
+		msg := make([]byte, 9)
+		msg[0] = kind
+		binary.BigEndian.PutUint64(msg[1:], seq)
+		return msg
+	}
+	hello := func(sid uint64, pid int64) []byte {
+		msg := []byte{durable.ReplSessRec, sessRecHello}
+		msg = binary.BigEndian.AppendUint64(msg, sid)
+		return binary.BigEndian.AppendUint64(msg, uint64(pid))
+	}
+	outcome := func(sid, req uint64, reply string) []byte {
+		msg := []byte{durable.ReplSessRec, sessRecOutcome}
+		msg = binary.BigEndian.AppendUint64(msg, sid)
+		msg = binary.BigEndian.AppendUint64(msg, req)
+		msg = binary.BigEndian.AppendUint32(msg, uint32(len(reply)))
+		return append(msg, reply...)
+	}
+	apply := func(rep *durable.Replica, msg []byte) (uint64, bool) {
+		t.Helper()
+		seq, b, err := rep.Apply(msg)
+		if err != nil {
+			t.Fatalf("Apply (kind 0x%02x): %v", msg[0], err)
+		}
+		return seq, b
+	}
+
+	// The primary taps an outcome for sid 9 while the snapshot is still in
+	// its shard section (sid 9's hello arrives only in the later sessions
+	// section), then an epoch barrier for it.
+	fsim := simio.New()
+	bdb := openSim(t, fsim)
+	rep := bdb.NewReplica()
+	apply(rep, snapBegin(0))
+	apply(rep, outcome(9, 1, "verdict"))
+	if seq, b := apply(rep, barrier(durable.ReplBarrier, 1)); b {
+		t.Fatalf("mid-snapshot barrier anchored and acked (seq=%d)", seq)
+	}
+	// Crash before SnapEnd: the deferred records must not be on disk.
+	if err := bdb.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	bdb = openSim(t, fsim)
+	if n := len(bdb.Sessions()); n != 0 {
+		t.Fatalf("crash mid-snapshot recovered %d sessions, want 0", n)
+	}
+
+	// Re-sync with the same interleaving carried through SnapEnd: the
+	// barrier is still deferred, and SnapEnd anchors tapped outcome and
+	// snapshot hello together.
+	rep = bdb.NewReplica()
+	apply(rep, snapBegin(0))
+	apply(rep, outcome(9, 1, "verdict"))
+	if _, b := apply(rep, barrier(durable.ReplBarrier, 1)); b {
+		t.Fatal("mid-snapshot barrier acked on re-sync")
+	}
+	apply(rep, hello(9, 0))
+	apply(rep, outcome(9, 1, "verdict"))
+	seq, b := apply(rep, barrier(durable.ReplSnapEnd, 2))
+	if !b || seq != 2 {
+		t.Fatalf("SnapEnd: seq=%d barrier=%v, want 2/true", seq, b)
+	}
+	check := func(db *durable.DB, when string) {
+		t.Helper()
+		ss := db.Sessions()
+		if len(ss) != 1 || ss[0].SID != 9 {
+			t.Fatalf("%s: sessions %+v, want exactly sid 9", when, ss)
+		}
+		if got := string(ss[0].Window[1]); got != "verdict" {
+			t.Fatalf("%s: window[1] = %q, want %q", when, got, "verdict")
+		}
+	}
+	check(bdb, "after SnapEnd")
+	// The verdict the SnapEnd ack promised survives a crash + promotion.
+	if err := bdb.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	bdb = openSim(t, fsim)
+	defer bdb.Close()
+	check(bdb, "after crash")
 }
 
 // TestGenerationFencing pins the fencing arithmetic: generations only

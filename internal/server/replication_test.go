@@ -160,6 +160,63 @@ func TestReplicationByteIdenticalReplayAcrossPromotion(t *testing.T) {
 	rc2.c.Close()
 }
 
+// TestFencedPrimaryRefusesSessions pins the planned-failover handoff on
+// the demoted node: once fenced, it must refuse to mint or resume data
+// sessions with ErrNotPrimary — the retryable code that rotates a failover
+// client to the promoted replica. Minting one instead would lease a slot
+// and durably burn a sid the promoted node has never heard of, stranding
+// the client on unknown-session when it resumes over there.
+func TestFencedPrimaryRefusesSessions(t *testing.T) {
+	addr := reserveAddr(t)
+	st := startDurable(t, t.TempDir(), addr)
+	defer st.kill(t)
+
+	// A pre-fencing session, to prove resumes are refused too.
+	rc := dialRaw(t, addr)
+	sid, _ := rc.hello(t, 0)
+	rc.c.Close()
+
+	if _, err := st.srv.Promote(); err != nil { // primary → fenced
+		t.Fatalf("Promote: %v", err)
+	}
+	sessions, durably := st.srv.Sessions(), len(st.db.Sessions())
+
+	// A fresh HELLO must bounce with the retryable not-primary code before
+	// any session state is created.
+	rcN := dialRaw(t, addr)
+	if reply := rcN.roundTrip(t, EncodeHello(0, 0)); reply[0] != ErrNotPrimary {
+		t.Fatalf("fenced node answered a fresh HELLO with %x, want not-primary", reply)
+	}
+	rcN.c.Close()
+
+	// Resuming the pre-fencing sid bounces the same way — the promoted
+	// replica holds the session now.
+	rcR := dialRaw(t, addr)
+	if reply := rcR.roundTrip(t, EncodeHello(sid, 0)); reply[0] != ErrNotPrimary {
+		t.Fatalf("fenced node answered a resume with %x, want not-primary", reply)
+	}
+	rcR.c.Close()
+
+	// No slot leased, no sid durably burned by the refused HELLOs.
+	if got := st.srv.Sessions(); got != sessions {
+		t.Fatalf("fenced node session count moved %d → %d", sessions, got)
+	}
+	if got := len(st.db.Sessions()); got != durably {
+		t.Fatalf("fenced node durable session count moved %d → %d", durably, got)
+	}
+
+	// Observers still work: stats and admin ops are how the fenced node is
+	// inspected and drained.
+	rcO := dialRaw(t, addr)
+	if reply := rcO.roundTrip(t, EncodeHello(0, HelloFlagObserver)); reply[0] != StatusOK {
+		t.Fatalf("observer HELLO on fenced node rejected: %x", reply)
+	}
+	if role, _, _ := serverStats(t, rcO, 1); role != RoleFenced {
+		t.Fatalf("fenced node reports role %d, want %d", role, RoleFenced)
+	}
+	rcO.c.Close()
+}
+
 // TestReapThenResumeRefusedOnPromotedReplica pins the reap/resume race
 // under replication: a session reaped on the primary ships its durable END
 // on the same barrier discipline as everything else, so resuming it — on

@@ -386,6 +386,16 @@ func (srv *Server) attach(conn net.Conn, sid uint64, flags byte) (*session, uint
 		// promotion, so the lookup below could not tell the two apart.
 		return nil, 0, encodeErr(ErrNotPrimary, "standby: not serving until promoted")
 	}
+	if !observer && srv.fenced.Load() {
+		// A fenced ex-primary must neither mint nor resume data sessions:
+		// every verdict now belongs to the promoted replica. Minting one
+		// here would lease a slot and durably burn a sid that the promoted
+		// node has never heard of — the client's first data op would bounce
+		// with not-primary and its resume over there would die on
+		// unknown-session. Refusing the HELLO itself sends the client to
+		// the next failover address before any state is created.
+		return nil, 0, encodeErr(ErrNotPrimary, "fenced: this node was demoted")
+	}
 
 	if sid == 0 {
 		pid := -1
