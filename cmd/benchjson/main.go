@@ -20,7 +20,9 @@ package main
 
 import (
 	"bufio"
+	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -32,8 +34,10 @@ import (
 	"time"
 
 	"detectable/internal/benchsuite"
+	"detectable/internal/durable"
 	"detectable/internal/server"
 	"detectable/internal/shardkv"
+	"detectable/internal/simio"
 )
 
 // Result is one benchmark's recorded numbers.
@@ -69,6 +73,7 @@ var allocCeilings = map[string]float64{
 	"pin/crash-free-get-allocs":               0,
 	"pin/wire-encode-allocs-frame":            1,
 	"pin/served-mput-allocs":                  0,
+	"pin/replica-get-allocs":                  0,
 	"BenchmarkShardKV/shards=1":               6,
 	"BenchmarkShardKV/shards=8":               6,
 	"BenchmarkCASDetectableContended/procs=8": 8,
@@ -113,6 +118,8 @@ func run(out, in, label, note string, check, checkOnly bool, shards int, wireCon
 			pins["pin/wire-encode-allocs-frame"], allocCeilings["pin/wire-encode-allocs-frame"])
 		fmt.Printf("  served MPUT        %.0f allocs/op (ceiling %.0f)\n",
 			pins["pin/served-mput-allocs"], allocCeilings["pin/served-mput-allocs"])
+		fmt.Printf("  replica GET        %.0f allocs/op (ceiling %.0f)\n",
+			pins["pin/replica-get-allocs"], allocCeilings["pin/replica-get-allocs"])
 		if checkOnly {
 			return nil
 		}
@@ -228,7 +235,83 @@ func measurePins() map[string]float64 {
 		server.PatchReqID(payload, ls.NextID())
 		ls.Handle(payload)
 	})
+
+	// The replica GET path end to end (minus the socket): a genuine
+	// standby server over a durable DB whose applied view was populated
+	// through the real replication stream (Subscribe → Apply), serving a
+	// read-only session — 0 allocs/op, the read-replica PR's promise.
+	replicaGet, err := measureReplicaGetPin()
+	if err != nil {
+		replicaGet = -1 // impossible; fail loud in gate output
+	}
+	pins["pin/replica-get-allocs"] = replicaGet
 	return pins
+}
+
+// measureReplicaGetPin builds a primary DB on the simulated filesystem,
+// streams a small workload through a replication subscription into a
+// standby DB, and measures the standby's read-only GET serving path.
+func measureReplicaGetPin() (float64, error) {
+	const (
+		pinShards = 4
+		pinProcs  = 2
+	)
+	pdb, err := durable.OpenFs(simio.New(), "/data", pinShards, pinProcs, server.Window)
+	if err != nil {
+		return 0, err
+	}
+	sub := pdb.Subscribe(0, false)
+	if err := pdb.AppendHello(1, 0); err != nil {
+		return 0, err
+	}
+	for i := 0; i < 64; i++ {
+		key := "pin-" + strconv.Itoa(i)
+		pdb.ShardBacking(shardkv.ShardIndex(key, pinShards)).Persist(key, int64(i+1))
+		if err := pdb.CommitOutcome(1, uint64(i+1), []byte{1}); err != nil {
+			return 0, err
+		}
+	}
+	sub.Close()
+
+	rdb, err := durable.OpenFs(simio.New(), "/data", pinShards, pinProcs, server.Window)
+	if err != nil {
+		return 0, err
+	}
+	rp := rdb.NewReplica()
+	for {
+		chunk, err := sub.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return 0, err
+		}
+		for len(chunk) > 0 {
+			n := int(binary.BigEndian.Uint32(chunk))
+			if _, _, err := rp.Apply(chunk[4 : 4+n]); err != nil {
+				return 0, err
+			}
+			chunk = chunk[4+n:]
+		}
+	}
+
+	srv := server.NewStandby(rdb, func() *shardkv.Store {
+		return shardkv.New(pinShards, pinProcs) // promotion never happens in the pin
+	})
+	ls, err := srv.NewReadOnlyLoopbackSession()
+	if err != nil {
+		return 0, err
+	}
+	defer ls.Close()
+	payload := server.AppendGet(nil, 1, 0, "pin-7")
+	for i := 0; i < 2*server.Window; i++ {
+		server.PatchReqID(payload, ls.NextID())
+		ls.Handle(payload)
+	}
+	return testing.AllocsPerRun(200, func() {
+		server.PatchReqID(payload, ls.NextID())
+		ls.Handle(payload)
+	}), nil
 }
 
 func gate(pins map[string]float64) error {

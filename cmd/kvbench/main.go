@@ -71,6 +71,7 @@ func main() {
 	serverArgs := flag.String("server-args", "", "extra kvserverd flags for -server-bin, space-separated")
 	shards := flag.Int("shards", 4, "shards for the -selftest or -server-bin server")
 	replica := flag.Bool("replica", false, "with -server-bin: also spawn a warm standby replicating from the primary, so the bench measures the synchronous-replication serving path")
+	readReplica := flag.Bool("read-replica", false, "with -server-bin: bench GET throughput through read-only sessions, primary-only vs split across primary+standby (BENCH_PR10)")
 	connsFlag := flag.String("conns", "1,4", "comma-separated connection counts to bench")
 	dur := flag.Duration("dur", 2*time.Second, "measured duration per connection count")
 	keys := flag.Int("keys", 512, "key-space size")
@@ -83,22 +84,36 @@ func main() {
 	label := flag.String("label", "run", "run name for -json")
 	seed := flag.Int64("seed", 1, "randomness seed")
 	flag.Parse()
-	if err := run(*addr, *selftest, *serverBin, *dataDir, *serverArgs, *shards, *replica, *connsFlag,
-		*dur, *keys, *getPct, *dist, *theta, *mput, *rate, *jsonOut, *label, *seed); err != nil {
+	var err error
+	if *readReplica {
+		var connCounts []int
+		if connCounts, err = parseConns(*connsFlag); err == nil {
+			err = runReadReplicaBench(*serverBin, *dataDir, *serverArgs, *shards, connCounts,
+				*dur, *keys, *dist, *theta, *seed, *jsonOut)
+		}
+	} else {
+		err = run(*addr, *selftest, *serverBin, *dataDir, *serverArgs, *shards, *replica, *connsFlag,
+			*dur, *keys, *getPct, *dist, *theta, *mput, *rate, *jsonOut, *label, *seed)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "kvbench:", err)
 		os.Exit(1)
 	}
 }
 
-// phaseResult is one connection count's measurement.
+// phaseResult is one connection count's measurement. ReplicaConns and
+// ReplicaOps appear only in -read-replica phases: how many of the
+// connections targeted the standby and how many operations it served.
 type phaseResult struct {
-	Conns       int     `json:"conns"`
-	RatePerConn float64 `json:"rate_per_conn,omitempty"`
-	Ops         int     `json:"ops"`
-	Throughput  float64 `json:"throughput_ops_sec"`
-	P50Ns       int64   `json:"p50_ns"`
-	P99Ns       int64   `json:"p99_ns"`
-	MaxNs       int64   `json:"max_ns"`
+	Conns        int     `json:"conns"`
+	ReplicaConns int     `json:"replica_conns,omitempty"`
+	ReplicaOps   int     `json:"replica_ops,omitempty"`
+	RatePerConn  float64 `json:"rate_per_conn,omitempty"`
+	Ops          int     `json:"ops"`
+	Throughput   float64 `json:"throughput_ops_sec"`
+	P50Ns        int64   `json:"p50_ns"`
+	P99Ns        int64   `json:"p99_ns"`
+	MaxNs        int64   `json:"max_ns"`
 }
 
 // runSection is one labeled run in the -json document.

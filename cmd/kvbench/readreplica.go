@@ -1,0 +1,255 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	goruntime "runtime"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"detectable/internal/client"
+	"detectable/internal/shardkv"
+	"detectable/internal/workload"
+)
+
+// runReadReplicaBench measures read-replica scaling (docs/REPLICATION.md
+// §read replicas): a durable primary plus a replicating standby, a light
+// continuous write load at the primary so the replication stream is live
+// during every measured window, and GET-only read-only sessions as the
+// measured traffic. Two sections land in the -json document:
+//
+//   - "read-primary-only": n read connections, all at the primary — the
+//     single-node read capacity under write load.
+//   - "read-replica": the same n at the primary plus n more at the
+//     standby — the capacity after adding the second node.
+//
+// The claim under test (and gated in CI against BENCH_PR10.json) is that
+// the second node adds read capacity: the split phase's aggregate
+// throughput must beat the primary-only phase at the same per-node
+// connection count, and the replica must have served a nonzero share.
+func runReadReplicaBench(bin, dataDir, serverArgs string, shards int, connCounts []int,
+	dur time.Duration, keys int, dist string, theta float64, seed int64, jsonOut string) error {
+	if bin == "" {
+		return fmt.Errorf("-read-replica needs -server-bin (the bench spawns both nodes itself)")
+	}
+	if dataDir == "" {
+		d, err := os.MkdirTemp("", "kvbench-rr-data-")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(d)
+		dataDir = d
+	}
+	// Read-only sessions lease no process slot, so the slot budget only
+	// covers the warm-up client and the background writer.
+	const procs = 4
+	addr, stop, err := spawnServer(bin, dataDir, serverArgs, shards, procs)
+	if err != nil {
+		return err
+	}
+	defer stop()
+	rd, err := os.MkdirTemp("", "kvbench-rr-replica-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(rd)
+	raddr, stopR, err := spawnServer(bin, rd, serverArgs+" -replica-of "+addr, shards, procs)
+	if err != nil {
+		return fmt.Errorf("spawning replica: %w", err)
+	}
+	defer stopR()
+	if err := waitReplicaSynced(addr, 15*time.Second); err != nil {
+		return fmt.Errorf("replica never synced: %w", err)
+	}
+	fmt.Printf("read-replica bench: primary=%s replica=%s dur=%s keys=%d dist=%s theta=%g\n",
+		addr, raddr, dur, keys, dist, theta)
+
+	// Warm every key with a nonzero value so reads land on live registers,
+	// then let the replica ack the warm-up barriers before measuring.
+	warmClient, err := client.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer warmClient.Close() //nolint:errcheck
+	if err := warmKeys(warmClient, keys); err != nil {
+		return err
+	}
+	if err := waitReplicaSynced(addr, 15*time.Second); err != nil {
+		return fmt.Errorf("replica never caught up after warm-up: %w", err)
+	}
+
+	newSection := func() *runSection {
+		return &runSection{
+			Generated:  time.Now().UTC().Format(time.RFC3339),
+			Go:         goruntime.Version(),
+			GetPct:     100,
+			Dist:       dist,
+			Theta:      theta,
+			Keys:       keys,
+			DurSec:     dur.Seconds(),
+			ServerArgs: serverArgs,
+		}
+	}
+	primaryOnly, split := newSection(), newSection()
+	for _, n := range connCounts {
+		r, err := withWriteLoad(addr, seed, func() (phaseResult, error) {
+			return benchReadPhase(addr, raddr, n, 0, dur, keys, dist, theta, seed)
+		})
+		if err != nil {
+			return fmt.Errorf("primary-only conns=%d: %w", n, err)
+		}
+		primaryOnly.Phases = append(primaryOnly.Phases, r)
+		r, err = withWriteLoad(addr, seed, func() (phaseResult, error) {
+			return benchReadPhase(addr, raddr, n, n, dur, keys, dist, theta, seed)
+		})
+		if err != nil {
+			return fmt.Errorf("split conns=%d+%d: %w", n, n, err)
+		}
+		split.Phases = append(split.Phases, r)
+	}
+	if jsonOut != "" {
+		if err := mergeJSON(jsonOut, "read-primary-only", primaryOnly); err != nil {
+			return err
+		}
+		return mergeJSON(jsonOut, "read-replica", split)
+	}
+	return nil
+}
+
+// warmKeys creates every key's register with a nonzero value, off the
+// measured window (see benchPhase's warm-up comment).
+func warmKeys(c *client.Client, keys int) error {
+	const chunk = 64
+	warm := make([]shardkv.KV, 0, chunk)
+	for k := 0; k < keys; k += chunk {
+		warm = warm[:0]
+		for j := k; j < keys && j < k+chunk; j++ {
+			warm = append(warm, shardkv.KV{Key: "bench-" + strconv.Itoa(j), Val: j + 1})
+		}
+		if _, err := c.MultiPut(warm); err != nil {
+			return fmt.Errorf("key-space warm-up: %w", err)
+		}
+	}
+	return nil
+}
+
+// withWriteLoad runs phase while one background connection keeps mutating
+// the key space at the primary, so the measured reads race a live
+// replication stream rather than a frozen view.
+func withWriteLoad(primary string, seed int64, phase func() (phaseResult, error)) (phaseResult, error) {
+	w, err := client.Dial(primary)
+	if err != nil {
+		return phaseResult{}, fmt.Errorf("dial writer: %w", err)
+	}
+	stop := make(chan struct{})
+	var done sync.WaitGroup
+	done.Add(1)
+	go func() {
+		defer done.Done()
+		rng := rand.New(rand.NewSource(seed ^ 0x77))
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := w.Put("bench-"+strconv.Itoa(rng.Intn(64)), i+1); err != nil {
+				return // the phase's own errors are the ones that matter
+			}
+		}
+	}()
+	r, perr := phase()
+	close(stop)
+	done.Wait()
+	w.Close() //nolint:errcheck
+	return r, perr
+}
+
+// benchReadPhase drives pconns closed-loop GET streams at the primary and
+// rconns at the replica, all over read-only sessions, and reports the
+// aggregate plus the replica's share.
+func benchReadPhase(primary, replica string, pconns, rconns int, dur time.Duration,
+	keys int, dist string, theta float64, seed int64) (phaseResult, error) {
+	conns := pconns + rconns
+	clients := make([]*client.Client, conns)
+	for i := range clients {
+		target := primary
+		if i >= pconns {
+			target = replica
+		}
+		c, err := client.DialReadOnly(target)
+		if err != nil {
+			return phaseResult{}, fmt.Errorf("dial read-only %d (%s): %w", i, target, err)
+		}
+		defer c.Close() //nolint:errcheck
+		clients[i] = c
+	}
+
+	lats := make([][]time.Duration, conns)
+	errs := make([]error, conns)
+	var replicaOps atomic.Int64
+	start := time.Now()
+	deadline := start.Add(dur)
+	var wg sync.WaitGroup
+	for i, c := range clients {
+		wg.Add(1)
+		go func(i int, c *client.Client) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(workload.WorkerSeed(seed, conns, i)))
+			nextKey := func() string { return "bench-" + strconv.Itoa(rng.Intn(keys)) }
+			if dist == "zipf" {
+				z := workload.NewZipf(rng, keys, theta)
+				nextKey = func() string { return "bench-" + strconv.Itoa(z.Next()) }
+			}
+			onReplica := i >= pconns
+			for {
+				op := time.Now()
+				if !op.Before(deadline) {
+					return
+				}
+				if _, err := c.Get(nextKey()); err != nil {
+					errs[i] = err
+					return
+				}
+				lats[i] = append(lats[i], time.Since(op))
+				if onReplica {
+					replicaOps.Add(1)
+				}
+			}
+		}(i, c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return phaseResult{}, err
+		}
+	}
+
+	var all []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	if len(all) == 0 {
+		return phaseResult{}, fmt.Errorf("no operations completed")
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a] < all[b] })
+	r := phaseResult{
+		Conns:        conns,
+		ReplicaConns: rconns,
+		ReplicaOps:   int(replicaOps.Load()),
+		Ops:          len(all),
+		Throughput:   float64(len(all)) / elapsed.Seconds(),
+		P50Ns:        int64(percentile(all, 50)),
+		P99Ns:        int64(percentile(all, 99)),
+		MaxNs:        int64(all[len(all)-1]),
+	}
+	fmt.Printf("reads: primary-conns=%d replica-conns=%d ops=%d (replica %d) throughput=%.0f ops/sec p50=%s p99=%s\n",
+		pconns, rconns, r.Ops, r.ReplicaOps, r.Throughput,
+		time.Duration(r.P50Ns), time.Duration(r.P99Ns))
+	return r, nil
+}

@@ -241,6 +241,20 @@ func (t *sharedTracker) checkRead(k, resp int, pre readPre) (violation bool) {
 	return false
 }
 
+// checkReadStale validates a read served from a replica's applied view
+// under the bounded-staleness contract (docs/REPLICATION.md §read
+// replicas). Staleness weakens exactly one conviction: a zero can always
+// be explained as a view that predates the key's writes, so zero never
+// convicts. Everything else stands at full strength — the replica applies
+// only journaled records, and a mutation journals only after linearizing,
+// so a phantom value or a failed write's value surfacing at the replica is
+// a violation just as it would be at the primary. Observed values are
+// marked, so a later fail verdict on a replica-served value still
+// convicts.
+func (t *sharedTracker) checkReadStale(k, resp int) (violation bool) {
+	return t.checkRead(k, resp, readPre{zeroConvicts: false})
+}
+
 // checkFinal validates key k's settled value after every verdict has
 // landed: zero is allowed only with no linearized write or with a
 // linearized deletion, and a nonzero value must be a registered write that

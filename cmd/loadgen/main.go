@@ -100,6 +100,9 @@ func main() {
 	failoverStorm := flag.Bool("failover-storm", false, "primary/backup failover mode: spawn a durable primary plus a replicating standby (-server-bin, -data) and SIGKILL/promote mid-workload")
 	failovers := flag.Int("failovers", 3, "minimum SIGKILL/promote cycles for -failover-storm")
 	failoverEvery := flag.Duration("failover-every", 900*time.Millisecond, "delay between primary SIGKILLs for -failover-storm")
+	readReplica := flag.Bool("read-replica", false, "read-replica mode: writes at a durable primary, bounded-stale verified reads at a replicating standby (-server-bin, -data), one SIGKILL+promote mid-run with readers live")
+	readerProcs := flag.Int("readers", 2, "GET-only reader goroutines for -read-replica")
+	maxLag := flag.Uint64("max-lag", 64, "reader staleness bound in commit barriers for -read-replica (0 = unbounded)")
 	flag.Parse()
 	cfg := wlCfg{
 		mixName: *mix, dist: *dist, theta: *theta, mput: *mput,
@@ -107,12 +110,20 @@ func main() {
 		dur: *dur, seed: *seed, verbose: *verbose,
 	}
 	err := cfg.validate()
+	nServerModes := 0
+	for _, on := range []bool{*restartStorm, *failoverStorm, *readReplica} {
+		if on {
+			nServerModes++
+		}
+	}
 	switch {
 	case err != nil:
-	case *restartStorm && *failoverStorm:
-		err = fmt.Errorf("pick one of -restart-storm and -failover-storm")
-	case (*restartStorm || *failoverStorm) && *remote != "":
-		err = fmt.Errorf("-restart-storm/-failover-storm spawn their own servers; drop -remote")
+	case nServerModes > 1:
+		err = fmt.Errorf("pick one of -restart-storm, -failover-storm and -read-replica")
+	case nServerModes > 0 && *remote != "":
+		err = fmt.Errorf("-restart-storm/-failover-storm/-read-replica spawn their own servers; drop -remote")
+	case *readReplica:
+		err = runReadReplicaStorm(*serverBin, *dataDir, &cfg, *readerProcs, *maxLag, *serverArgs)
 	case *failoverStorm:
 		err = runFailoverStorm(*serverBin, *dataDir, &cfg, *failovers, *failoverEvery, *serverArgs)
 	case *restartStorm:

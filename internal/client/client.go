@@ -43,9 +43,14 @@ type Client struct {
 	// addrs is the failover set: connect tries them round-robin starting
 	// at addrIdx, and a successful handshake pins addrIdx so the session
 	// sticks to the address that accepted it until it stops being primary.
+	// addrs[:nprimary] are primary candidates; the rest are known replicas,
+	// tried only after every primary refused — promotion candidates, never
+	// preferred targets (DialFailoverWithReplicas).
 	addrs    []string
 	addrIdx  int
+	nprimary int
 	observer bool
+	readonly bool
 
 	// redial policy for transparent resumption. redialWait is the CAP of
 	// the capped-exponential backoff, not a fixed sleep.
@@ -86,16 +91,49 @@ func Dial(addr string) (*Client, error) { return dial([]string{addr}, false) }
 // and replays its outcome window there.
 func DialFailover(addrs []string) (*Client, error) { return dial(addrs, false) }
 
+// DialFailoverWithReplicas opens a session like DialFailover, but marks
+// the second address set as known replicas: connect prefers the primary
+// addresses and tries replicas only after every primary refused, so a
+// mutation is never rotated onto a warm standby (guaranteed ErrNotPrimary)
+// while a primary is reachable — replicas are promotion candidates only.
+func DialFailoverWithReplicas(primaries, replicas []string) (*Client, error) {
+	addrs := make([]string, 0, len(primaries)+len(replicas))
+	addrs = append(addrs, primaries...)
+	addrs = append(addrs, replicas...)
+	c, err := dialOpts(addrs, false, false, len(primaries))
+	if err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
 // DialObserver opens a slot-less observer session: it may only issue
 // CrashShard, Stats, ServerStats, Promote and Close. Storm drivers and
 // stats pollers use it so they do not occupy a process identity.
 func DialObserver(addr string) (*Client, error) { return dial([]string{addr}, true) }
 
+// DialReadOnly opens a slot-less GET-only session (HelloFlagReadOnly): it
+// may issue Get, MultiGet, ServerStats, Promote and Close, and is the one
+// session kind a warm standby accepts — reads are served from the
+// replica's barrier-consistent applied state, bounded-stale but never
+// phantom. Mutation methods fail locally. DialReadPreference builds the
+// replica-preferring, staleness-bounded router on top of this.
+func DialReadOnly(addr string) (*Client, error) {
+	return dialOpts([]string{addr}, false, true, 1)
+}
+
 func dial(addrs []string, observer bool) (*Client, error) {
+	return dialOpts(addrs, observer, false, len(addrs))
+}
+
+func dialOpts(addrs []string, observer, readonly bool, nprimary int) (*Client, error) {
 	if len(addrs) == 0 {
 		return nil, fmt.Errorf("client: no addresses to dial")
 	}
-	c := &Client{addrs: addrs, observer: observer, maxRedials: 8, redialWait: 50 * time.Millisecond}
+	c := &Client{
+		addrs: addrs, nprimary: nprimary, observer: observer, readonly: readonly,
+		maxRedials: 8, redialWait: 50 * time.Millisecond,
+	}
 	if err := c.connect(); err != nil {
 		return nil, err
 	}
@@ -103,20 +141,57 @@ func dial(addrs []string, observer bool) (*Client, error) {
 }
 
 // connect performs the HELLO handshake against each address in the
-// failover set, starting from the last one that worked, and pins the
-// first that accepts. A standby's ErrNotPrimary moves on to the next
-// address; any other protocol rejection is fatal (another address cannot
-// make a malformed or unknown session valid).
+// failover set and pins the first that accepts. A standby's ErrNotPrimary
+// moves on to the next address; any other protocol rejection is fatal
+// (another address cannot make a malformed or unknown session valid).
+//
+// Sweep order: the primary block first, then the replica block, each
+// rotated to start from the last address that worked when it lies in that
+// block. Replica addresses are promotion candidates only — while any
+// primary accepts, a session (and above all a mutation) never lands on a
+// standby just to hear a guaranteed ErrNotPrimary — but after a failover
+// the promoted replica still answers the sweep's tail.
 func (c *Client) connect() error {
 	var lastErr error
-	for i := 0; i < len(c.addrs); i++ {
-		idx := (c.addrIdx + i) % len(c.addrs)
-		err := c.connectTo(c.addrs[idx])
+	try := func(idx int) (ok, fatal bool, err error) {
+		err = c.connectTo(c.addrs[idx])
 		if err == nil {
 			c.addrIdx = idx
+			return true, false, nil
+		}
+		if we, isWire := err.(*WireError); isWire && we.Code != server.ErrNotPrimary {
+			return false, true, err
+		}
+		return false, false, err
+	}
+	np := c.nprimary
+	if np <= 0 || np > len(c.addrs) {
+		np = len(c.addrs)
+	}
+	for i := 0; i < np; i++ {
+		idx := i
+		if c.addrIdx < np {
+			idx = (c.addrIdx + i) % np
+		}
+		ok, fatal, err := try(idx)
+		if ok {
 			return nil
 		}
-		if we, ok := err.(*WireError); ok && we.Code != server.ErrNotPrimary {
+		if fatal {
+			return err
+		}
+		lastErr = err
+	}
+	for i := 0; i < len(c.addrs)-np; i++ {
+		idx := np + i
+		if c.addrIdx >= np {
+			idx = np + (c.addrIdx-np+i)%(len(c.addrs)-np)
+		}
+		ok, fatal, err := try(idx)
+		if ok {
+			return nil
+		}
+		if fatal {
 			return err
 		}
 		lastErr = err
@@ -143,6 +218,9 @@ func (c *Client) connectTo(addr string) error {
 	var flags byte
 	if c.observer {
 		flags |= server.HelloFlagObserver
+	}
+	if c.readonly {
+		flags |= server.HelloFlagReadOnly
 	}
 	br := bufio.NewReader(conn)
 	bw := bufio.NewWriter(conn)
@@ -384,8 +462,22 @@ func (c *Client) Get(key string, plan ...uint32) (runtime.Outcome[int], error) {
 	return c.callOutcome(c.enc)
 }
 
+// errReadOnly is the local refusal for mutations on a read-only session:
+// failing before any bytes leave means a GET-only client never rotates a
+// doomed mutation through its failover set burning redial budget on
+// guaranteed rejections.
+func (c *Client) errReadOnly() error {
+	if !c.readonly {
+		return nil
+	}
+	return fmt.Errorf("client: mutation on a read-only session")
+}
+
 // Put writes key := val and returns its detectable outcome.
 func (c *Client) Put(key string, val int, plan ...uint32) (runtime.Outcome[int], error) {
+	if err := c.errReadOnly(); err != nil {
+		return runtime.Outcome[int]{}, err
+	}
 	if err := checkKey(key); err != nil {
 		return runtime.Outcome[int]{}, err
 	}
@@ -395,6 +487,9 @@ func (c *Client) Put(key string, val int, plan ...uint32) (runtime.Outcome[int],
 
 // Del removes key and returns its detectable outcome.
 func (c *Client) Del(key string, plan ...uint32) (runtime.Outcome[int], error) {
+	if err := c.errReadOnly(); err != nil {
+		return runtime.Outcome[int]{}, err
+	}
 	if err := checkKey(key); err != nil {
 		return runtime.Outcome[int]{}, err
 	}
@@ -482,6 +577,9 @@ func (c *Client) MultiGet(keys []string) ([]runtime.Outcome[int], error) {
 // MultiPut writes a batch of entries in one frame; outcomes align with
 // entries.
 func (c *Client) MultiPut(entries []shardkv.KV) ([]runtime.Outcome[int], error) {
+	if err := c.errReadOnly(); err != nil {
+		return nil, err
+	}
 	if err := checkBatch(len(entries)); err != nil {
 		return nil, err
 	}
@@ -506,6 +604,9 @@ func (c *Client) MultiPut(entries []shardkv.KV) ([]runtime.Outcome[int], error) 
 // connection loss the unanswered suffix is re-issued after resume, so
 // every entry still gets a definite exactly-once verdict.
 func (c *Client) PipelinePut(entries []shardkv.KV) ([]runtime.Outcome[int], error) {
+	if err := c.errReadOnly(); err != nil {
+		return nil, err
+	}
 	if len(entries) > server.Window {
 		return nil, fmt.Errorf("client: pipeline of %d exceeds the %d-request window", len(entries), server.Window)
 	}
@@ -641,6 +742,12 @@ type ServerStatus struct {
 	ReplSeq          uint64 // last replication barrier sequence staged
 	ReplAcked        uint64 // min barrier acked across sync subscribers
 	Replicas         uint64 // currently attached replica streams
+	// ReplApplied is the node's applied mark: on a standby, the primary
+	// barrier sequence its read view has applied through; on a primary,
+	// its own ReplSeq (applied ≡ committed). The replication lag a reader
+	// risks is primary.ReplSeq − replica.ReplApplied, comparable when both
+	// report the same Generation.
+	ReplApplied uint64
 }
 
 // ServerStats fetches the node's replication status.
@@ -659,6 +766,7 @@ func (c *Client) ServerStats() (ServerStatus, error) {
 	st.ReplSeq = r.U64()
 	st.ReplAcked = r.U64()
 	st.Replicas = r.U64()
+	st.ReplApplied = r.U64()
 	if r.Err || r.Rest() != 0 {
 		return ServerStatus{}, fmt.Errorf("client: malformed SERVER-STATS reply")
 	}

@@ -89,6 +89,7 @@ type DB struct {
 	compactAt int64
 	gc        groupCommit
 	repl      replState     // primary/backup replication hub (replicate.go)
+	view      replView      // replica read view, published per barrier (view.go)
 	gen       atomic.Uint64 // fencing generation mirrored from the MANIFEST
 }
 

@@ -601,10 +601,11 @@ func (db *DB) SetGeneration(gen uint64) error {
 // recoverable — preserving outcome-implies-effect on the backup's disk.
 // Not safe for concurrent use; feed it one stream.
 type Replica struct {
-	db       *DB
-	staged   []byte // u32-length-prefixed session records awaiting a barrier
-	inSnap   bool
-	snapSids map[uint64]struct{} // sessions asserted live by the snapshot in progress
+	db        *DB
+	staged    []byte    // u32-length-prefixed session records awaiting a barrier
+	viewStage []viewPut // shard puts awaiting barrier publication to the read view
+	inSnap    bool
+	snapSids  map[uint64]struct{} // sessions asserted live by the snapshot in progress
 }
 
 // NewReplica returns an applier feeding db. The DB must not be serving —
@@ -642,6 +643,11 @@ func (rp *Replica) Apply(msg []byte) (seq uint64, barrier bool, err error) {
 		rp.inSnap = true
 		rp.snapSids = make(map[uint64]struct{})
 		rp.staged = rp.staged[:0] // a torn previous stream's stage never applies
+		rp.viewStage = rp.viewStage[:0]
+		// The incoming snapshot supersedes the read view; until SnapEnd
+		// publishes it, the applied mark is 0 and staleness-bounded readers
+		// fall back to the primary rather than read a mid-bootstrap state.
+		rp.db.resetView()
 		return 0, false, nil
 
 	case ReplShardRec:
@@ -661,6 +667,9 @@ func (rp *Replica) Apply(msg []byte) (seq uint64, barrier bool, err error) {
 			return 0, false, fmt.Errorf("durable: malformed replicated put record")
 		}
 		rp.db.journalPut(shard, key, val)
+		// Stage for the read view; published only when the covering barrier
+		// is durable here (decodePut copied the key, so it is owned).
+		rp.viewStage = append(rp.viewStage, viewPut{shard: shard, key: key, val: val})
 		return 0, false, nil
 
 	case ReplSessRec:
@@ -718,7 +727,13 @@ func (rp *Replica) Apply(msg []byte) (seq uint64, barrier bool, err error) {
 			return 0, false, err
 		}
 		rp.staged = rp.staged[:0]
-		return binary.BigEndian.Uint64(body), true, nil
+		seq = binary.BigEndian.Uint64(body)
+		// The barrier is durable on this node: publish its shard puts to the
+		// read view atomically, so a replica GET sees either all of a commit
+		// epoch's effects or none of them.
+		rp.db.publishView(rp.viewStage, seq)
+		rp.viewStage = rp.viewStage[:0]
+		return seq, true, nil
 
 	default:
 		return 0, false, fmt.Errorf("durable: unexpected replication message kind 0x%02x", msg[0])

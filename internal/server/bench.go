@@ -43,6 +43,24 @@ func (srv *Server) NewLoopbackSession() (*LoopbackSession, error) {
 	return &LoopbackSession{srv: srv, sess: sess, scratch: GetFrameBuf(), nextID: 1}, nil
 }
 
+// NewReadOnlyLoopbackSession returns a loopback session in read-only mode:
+// slotless and GET-only, the session kind a standby serves (readonly.go).
+// Works on a primary or a standby server; cmd/benchjson uses it against a
+// standby to pin the replica GET path allocation-free.
+func (srv *Server) NewReadOnlyLoopbackSession() (*LoopbackSession, error) {
+	srv.mu.Lock()
+	srv.nextSID++
+	sid := srv.nextSID
+	srv.mu.Unlock()
+	sess := &session{id: sid, pid: -1, readOnly: true, gen: 1, cache: make(map[uint64][]byte, Window+1)}
+	if db := srv.db.Load(); db != nil {
+		if err := db.NoteSID(sid); err != nil {
+			return nil, err
+		}
+	}
+	return &LoopbackSession{srv: srv, sess: sess, scratch: GetFrameBuf(), nextID: 1}, nil
+}
+
 // Handle processes one request payload (opcode + reqID + body, as built by
 // the Append* encoders) and returns the encoded reply. The reply aliases
 // the session's scratch and is valid until the next Handle call.
@@ -70,9 +88,11 @@ func PatchReqID(payload []byte, reqID uint64) {
 // state.
 func (ls *LoopbackSession) PID() int { return ls.sess.pid }
 
-// Close releases the session's process slot and scratch buffer.
+// Close releases the session's process slot (if any) and scratch buffer.
 func (ls *LoopbackSession) Close() {
-	ls.srv.store.Load().ReleaseProc(ls.sess.pid)
+	if !ls.sess.slotless() {
+		ls.srv.store.Load().ReleaseProc(ls.sess.pid)
+	}
 	PutFrameBuf(ls.scratch)
 	ls.scratch = nil
 }

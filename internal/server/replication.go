@@ -385,15 +385,20 @@ func (srv *Server) serveReplication(conn net.Conn, br *bufio.Reader, bw *bufio.W
 
 // appendServerStatsReply appends the node-status reply: role, fencing
 // generation, recovered-window replays served, the replication barrier
-// high-water and min-acked sequences, and the attached replica count.
+// high-water and min-acked sequences, the attached replica count, and the
+// applied mark — on a standby, the primary-stream barrier its read view
+// has applied through (the replica's side of the replication-lag bound:
+// lag = primary's seq − replica's applied, comparable when the two report
+// the same generation); on a primary, its own seq (applied ≡ committed).
 // Reads only atomics — safe under any lock.
 func (srv *Server) appendServerStatsReply(dst []byte) []byte {
 	role := RolePrimary
-	var gen, seq, acked uint64
+	var gen, seq, acked, applied uint64
 	if st := srv.standby.Load(); st != nil {
 		role = RoleStandby
 		gen = st.db.Generation()
 		seq, acked, _ = st.db.ReplStatus()
+		applied = st.db.ViewSeq()
 	} else {
 		if srv.fenced.Load() {
 			role = RoleFenced
@@ -401,11 +406,23 @@ func (srv *Server) appendServerStatsReply(dst []byte) []byte {
 		if db := srv.db.Load(); db != nil {
 			gen = db.Generation()
 			seq, acked, _ = db.ReplStatus()
+			applied = seq
 		}
 	}
 	dst = append(dst, StatusOK, role)
-	for _, v := range [...]uint64{gen, srv.recoveredReplays.Load(), seq, acked, uint64(srv.replicas.Load())} {
+	for _, v := range [...]uint64{gen, srv.recoveredReplays.Load(), seq, acked, uint64(srv.replicas.Load()), applied} {
 		dst = binary.BigEndian.AppendUint64(dst, v)
 	}
 	return dst
+}
+
+// StopReplication halts a standby's replication loop without promoting it:
+// the read view freezes at its current applied mark while the primary's
+// committed mark keeps advancing — the deliberately-lagging replica the
+// MaxLag fallback tests need. Idempotent; a later Promote still works. No
+// effect on a server born (or already promoted to) primary.
+func (srv *Server) StopReplication() {
+	if st := srv.standby.Load(); st != nil {
+		st.stopReplication()
+	}
 }

@@ -207,7 +207,7 @@ func (srv *Server) reapLoop(ttl time.Duration) {
 		}
 		srv.mu.Unlock()
 		for _, sess := range expired {
-			if !sess.observer {
+			if !sess.slotless() {
 				// The durable END is appended after the session left the
 				// table, so a resume that raced past this point was already
 				// refused with unknown-session; replication ships the END on
@@ -267,7 +267,7 @@ func (srv *Server) Close() error {
 			sess.conn.Close()
 		}
 		sess.mu.Unlock()
-		if !sess.observer {
+		if !sess.slotless() {
 			srv.store.Load().ReleaseProc(sess.pid)
 		}
 	}
@@ -378,15 +378,21 @@ func (srv *Server) attach(conn net.Conn, sid uint64, flags byte) (*session, uint
 		return nil, 0, encodeErr(ErrBadRequest, "server shutting down")
 	}
 	observer := flags&HelloFlagObserver != 0
-	if !observer && srv.standby.Load() != nil {
+	readOnly := flags&HelloFlagReadOnly != 0
+	if !observer && !readOnly && srv.standby.Load() != nil {
 		// A standby serves no data sessions — and critically, a client
 		// resuming the old primary's sid here must hear not-primary (try
 		// the next address), never unknown-session (fatal to the client):
 		// the standby's table does not hold replicated sessions until
 		// promotion, so the lookup below could not tell the two apart.
+		// Read-only sessions ARE admitted: the standby is a read replica
+		// (executeReadOnly serves GETs from the applied view).
 		return nil, 0, encodeErr(ErrNotPrimary, "standby: not serving until promoted")
 	}
 	if !observer && srv.fenced.Load() {
+		// Refuses read-only sessions too: a fenced ex-primary's state is
+		// frozen at demotion with no lag bound, so reads belong to the
+		// promoted node.
 		// A fenced ex-primary must neither mint nor resume data sessions:
 		// every verdict now belongs to the promoted replica. Minting one
 		// here would lease a slot and durably burn a sid that the promoted
@@ -399,7 +405,7 @@ func (srv *Server) attach(conn net.Conn, sid uint64, flags byte) (*session, uint
 
 	if sid == 0 {
 		pid := -1
-		if !observer {
+		if !observer && !readOnly {
 			p, ok := srv.store.Load().AcquireProc()
 			if !ok {
 				return nil, 0, encodeErr(ErrSlotsExhausted, "every process slot is leased")
@@ -408,7 +414,7 @@ func (srv *Server) attach(conn net.Conn, sid uint64, flags byte) (*session, uint
 		}
 		srv.nextSID++
 		sess := &session{
-			id: srv.nextSID, pid: pid, observer: observer,
+			id: srv.nextSID, pid: pid, observer: observer, readOnly: readOnly,
 			conn: conn, gen: 1, cache: make(map[uint64][]byte, Window+1),
 		}
 		if db := srv.db.Load(); db != nil {
@@ -422,13 +428,13 @@ func (srv *Server) attach(conn net.Conn, sid uint64, flags byte) (*session, uint
 			// have reached the log even when the sync failed, and reusing
 			// the ID could durably bind it to two different pids.
 			var err error
-			if observer {
+			if sess.slotless() {
 				err = db.NoteSID(sess.id)
 			} else {
 				err = db.AppendHello(sess.id, pid)
 			}
 			if err != nil {
-				if !observer {
+				if !sess.slotless() {
 					srv.store.Load().ReleaseProc(pid)
 				}
 				return nil, 0, encodeErr(ErrBadRequest, "durable session record failed")
@@ -472,7 +478,7 @@ func (srv *Server) endSession(sess *session) {
 	_, live := srv.sessions[sess.id]
 	delete(srv.sessions, sess.id)
 	srv.mu.Unlock()
-	if live && !sess.observer {
+	if live && !sess.slotless() {
 		if db := srv.db.Load(); db != nil {
 			// Best-effort: a lost END record only means the session is
 			// recovered once more after a restart and reaped by the idle TTL.
@@ -588,6 +594,13 @@ func (srv *Server) execute(sess *session, op byte, r *Reader, dst []byte) (reply
 		// A fenced ex-primary serves no data: every verdict now belongs to
 		// the promoted replica. The client redials its other addresses.
 		return appendErr(dst, ErrNotPrimary, "fenced: this node was demoted"), false, false
+	}
+	if sess.readOnly {
+		// Read-only sessions bypass the store (they hold no process slot)
+		// and are the one session kind a standby serves: GETs are answered
+		// from committed state — the replica's applied view, or the durable
+		// mirror / live store on a primary (readonly.go).
+		return srv.executeReadOnly(sess, op, r, dst)
 	}
 	store := srv.store.Load()
 	if store == nil && op != OpClose {

@@ -71,6 +71,17 @@ const HelloFlagObserver byte = 0x01
 // durable.ReplAck frames back.
 const HelloFlagReplica byte = 0x02
 
+// HelloFlagReadOnly requests a GET-only session without a process slot: it
+// may issue GET/MGET (answered from committed state — on a standby, the
+// replica's barrier-consistent applied view), plus CLOSE/PROMOTE/
+// SERVER-STATS. Unlike every other session kind it is admitted on a
+// standby, which is what turns the warm replica into a read replica:
+// reads carry no outcome window, so the paper's detectability guarantees
+// are untouched by serving them from a bounded-stale copy
+// (docs/REPLICATION.md §read replicas). Mutations are refused —
+// ErrNotPrimary on a standby, ErrObserver on a primary.
+const HelloFlagReadOnly byte = 0x04
+
 // CrashAllShards as the shard field of OpCrash storms every shard.
 const CrashAllShards = ^uint32(0)
 

@@ -227,11 +227,14 @@ func (s *Store) NumShards() int { return len(s.shards) }
 // Procs returns the per-shard process count.
 func (s *Store) Procs() int { return s.procs }
 
-// ShardFor returns the index of the shard serving key (FNV-1a of the key
-// modulo the shard count — stable across runs, so tests and the load
-// generator can target a specific shard). Inlined rather than hash/fnv so
-// the routing decision on every operation allocates nothing.
-func (s *Store) ShardFor(key string) int {
+// ShardIndex returns the index of the shard serving key in a store of
+// `shards` partitions (FNV-1a of the key modulo the shard count — stable
+// across runs, so tests and the load generator can target a specific
+// shard). Inlined rather than hash/fnv so the routing decision on every
+// operation allocates nothing. Package-level so layers without a Store —
+// a standby serving reads out of its replicated durable view — route with
+// the identical function.
+func ShardIndex(key string, shards int) int {
 	const (
 		offset32 = 2166136261
 		prime32  = 16777619
@@ -240,8 +243,11 @@ func (s *Store) ShardFor(key string) int {
 	for i := 0; i < len(key); i++ {
 		h = (h ^ uint32(key[i])) * prime32
 	}
-	return int(h % uint32(len(s.shards)))
+	return int(h % uint32(shards))
 }
+
+// ShardFor returns the index of the shard serving key.
+func (s *Store) ShardFor(key string) int { return ShardIndex(key, len(s.shards)) }
 
 // System returns shard i's runtime system, for tests and tooling.
 func (s *Store) System(i int) *runtime.System { return s.shards[i].sys }
